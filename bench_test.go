@@ -1,0 +1,306 @@
+// Benchmark harness regenerating every figure of the paper plus the
+// ablations listed in DESIGN.md §4. Wall-clock time of a benchmark
+// iteration is simulation effort; the quantity the paper reports is
+// VIRTUAL execution time, exported per benchmark via the custom metrics
+//
+//	vms/op   — virtual milliseconds of cluster time per simulated run
+//	norm     — virtual time normalized to the best variant (Figure 1's
+//	           y-axis), reported by the *_Normalized benchmarks
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// simulate runs src on np ranks under prof and returns virtual time.
+func simulate(b *testing.B, src string, np int, prof netsim.Profile, costs *interp.CostModel) netsim.Time {
+	b.Helper()
+	prog, err := interp.Load(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if costs != nil {
+		prog.Costs = *costs
+	}
+	res, err := prog.Run(np, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Elapsed()
+}
+
+// transform rewrites src or fails the benchmark.
+func transform(b *testing.B, src string, opts core.Options) string {
+	b.Helper()
+	out, rep, err := core.Transform(src, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.TransformedCount() != 1 {
+		b.Fatalf("transform did not fire:\n%s", rep)
+	}
+	return out
+}
+
+// fig1Sources builds the Figure 1 kernel and its prepush version per
+// profile (per-platform K, as §1 motivates).
+func fig1Sources(b *testing.B) (src string, prepush map[string]string, opts workload.RunOptions) {
+	p, o := workload.Figure1Params()
+	src = workload.Inner3DSource(p)
+	prepush = map[string]string{
+		"mpich-tcp": transform(b, src, core.Options{K: 32}),
+		"mpich-gm":  transform(b, src, core.Options{K: 16}),
+	}
+	return src, prepush, o
+}
+
+// BenchmarkFigure1 reproduces the paper's measured figure: the four bars
+// MPICH original/prepush and MPICH-GM original/prepush.
+func BenchmarkFigure1(b *testing.B) {
+	src, prepush, opts := fig1Sources(b)
+	for _, prof := range []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()} {
+		for _, variant := range []string{"Original", "Prepush"} {
+			text := src
+			if variant == "Prepush" {
+				text = prepush[prof.Name]
+			}
+			b.Run(fmt.Sprintf("%s/%s", prof.Name, variant), func(b *testing.B) {
+				var total netsim.Time
+				for i := 0; i < b.N; i++ {
+					total += simulate(b, text, opts.NP, prof, opts.Costs)
+				}
+				b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1_Normalized reports the normalized-execution-time bars in
+// one shot (slow per iteration: it runs all four configurations).
+func BenchmarkFigure1_Normalized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := workload.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm := cmp.Normalized()
+		b.ReportMetric(norm["mpich-tcp original"], "tcp-orig")
+		b.ReportMetric(norm["mpich-tcp prepush"], "tcp-pre")
+		b.ReportMetric(norm["mpich-gm original"], "gm-orig")
+		b.ReportMetric(norm["mpich-gm prepush"], "gm-pre")
+	}
+}
+
+// BenchmarkFigure2_TransformDirect measures the Compuniformer itself on the
+// Fig. 2(a) direct-pattern program (analysis + rewrite + unparse).
+func BenchmarkFigure2_TransformDirect(b *testing.B) {
+	src := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, rep, err := core.Transform(src, core.Options{K: 4})
+		if err != nil || rep.TransformedCount() != 1 || len(out) == 0 {
+			b.Fatalf("transform failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkFigure3_TransformIndirect measures the indirect-pattern pipeline
+// (copy-loop recognition + slab verification + rewrite).
+func BenchmarkFigure3_TransformIndirect(b *testing.B) {
+	src := workload.IndirectSource(workload.IndirectParams{N: 8, NP: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, rep, err := core.Transform(src, core.Options{K: 2})
+		if err != nil || rep.TransformedCount() != 1 || len(out) == 0 {
+			b.Fatalf("transform failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkFigure4_CommGen measures generation of the staggered all-peers
+// exchange for the inner-node-loop form.
+func BenchmarkFigure4_CommGen(b *testing.B) {
+	src := workload.Inner3DSource(workload.Inner3DParams{M: 4, NY: 16, SZ: 8, NP: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, rep, err := core.Transform(src, core.Options{K: 4})
+		if err != nil || rep.TransformedCount() != 1 || len(out) == 0 {
+			b.Fatalf("transform failed: %v", err)
+		}
+	}
+}
+
+// ablationKernel is a smaller inner-node-loop kernel for parameter sweeps.
+func ablationKernel() (string, *interp.CostModel) {
+	p := workload.Inner3DParams{M: 64, NY: 32, SZ: 8, NP: 4, Weight: 1}
+	costs := interp.DefaultCosts()
+	costs.Store = 8 * netsim.Nanosecond
+	return workload.Inner3DSource(p), &costs
+}
+
+// BenchmarkAblation_TileSweep (A1): sensitivity to the tile size K, the
+// parameter the paper declares out of scope but performance-critical (§2).
+func BenchmarkAblation_TileSweep(b *testing.B) {
+	src, costs := ablationKernel()
+	prof := netsim.MPICHGM()
+	for _, k := range []int64{1, 2, 4, 8, 16, 32} {
+		pre := transform(b, src, core.Options{K: k})
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var total netsim.Time
+			for i := 0; i < b.N; i++ {
+				total += simulate(b, pre, 4, prof, costs)
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+		})
+	}
+}
+
+// BenchmarkAblation_NPSweep (A2): scaling with the number of ranks (the §1
+// scalability motivation).
+func BenchmarkAblation_NPSweep(b *testing.B) {
+	for _, np := range []int{2, 4, 8} {
+		p := workload.Inner3DParams{M: 64, NY: 32, SZ: 8, NP: np, Weight: 1}
+		src := workload.Inner3DSource(p)
+		pre := transform(b, src, core.Options{K: 8})
+		prof := netsim.MPICHGM()
+		costs := interp.DefaultCosts()
+		costs.Store = 8 * netsim.Nanosecond
+		for variant, text := range map[string]string{"orig": src, "pre": pre} {
+			b.Run(fmt.Sprintf("np=%d/%s", np, variant), func(b *testing.B) {
+				var total netsim.Time
+				for i := 0; i < b.N; i++ {
+					total += simulate(b, text, np, prof, &costs)
+				}
+				b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_MsgSize (A3): eager-vs-rendezvous crossover on the
+// direct 1-D kernel (paper Fig. 2 shape) as the array grows.
+func BenchmarkAblation_MsgSize(b *testing.B) {
+	prof := netsim.MPICHGM()
+	for _, nx := range []int{4096, 16384, 65536} {
+		p := workload.DirectParams{NX: nx, Outer: 2, NP: 4, Weight: 2}
+		src := workload.DirectSource(p)
+		pre := transform(b, src, core.Options{K: int64(nx / 4 / 4)}) // 4 tiles per partition
+		for variant, text := range map[string]string{"orig": src, "pre": pre} {
+			b.Run(fmt.Sprintf("nx=%d/%s", nx, variant), func(b *testing.B) {
+				var total netsim.Time
+				for i := 0; i < b.N; i++ {
+					total += simulate(b, text, 4, prof, nil)
+				}
+				b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+			})
+		}
+	}
+}
+
+// interchangeKernel has the node loop outermost with a legal interchange.
+const interchangeKernel = `
+program swapk
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: n = 64
+  integer, parameter :: np = 4
+  integer as(1:n, 1:n)
+  integer ar(1:n, 1:n)
+  integer i, j, ierr, me, checksum
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do j = 1, n
+    do i = 1, n
+      as(i, j) = me*3 + i + j*10 + mod(i*j, 17)
+    enddo
+  enddo
+  call mpi_alltoall(as, n*n/np, mpi_integer, ar, n*n/np, mpi_integer, mpi_comm_world, ierr)
+  checksum = ar(1, 1) + ar(n, n)
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program swapk
+`
+
+// BenchmarkAblation_NodeLoopOuter (A4): subset-send fallback vs forced
+// interchange when the node loop is outermost (§3.5's efficiency
+// discussion).
+func BenchmarkAblation_NodeLoopOuter(b *testing.B) {
+	prof := netsim.MPICHGM()
+	subset := transform(b, interchangeKernel, core.Options{K: 4, InterchangeMinBlockBytes: -1})
+	inter := transform(b, interchangeKernel, core.Options{K: 4, InterchangeMinBlockBytes: 1})
+	for variant, text := range map[string]string{"subset-send": subset, "interchange": inter} {
+		b.Run(variant, func(b *testing.B) {
+			var total netsim.Time
+			for i := 0; i < b.N; i++ {
+				total += simulate(b, text, 4, prof, nil)
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+		})
+	}
+}
+
+// BenchmarkAblation_CopyElim (A5): the indirect pattern's copy elimination —
+// original (with copy loop) vs prepush (copy removed, At sent directly).
+func BenchmarkAblation_CopyElim(b *testing.B) {
+	src := workload.IndirectSource(workload.IndirectParams{N: 16, NP: 4, Weight: 1})
+	pre := transform(b, src, core.Options{K: 2})
+	prof := netsim.MPICHGM()
+	for variant, text := range map[string]string{"orig-with-copy": src, "pre-no-copy": pre} {
+		b.Run(variant, func(b *testing.B) {
+			var total netsim.Time
+			for i := 0; i < b.N; i++ {
+				total += simulate(b, text, 4, prof, nil)
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+		})
+	}
+}
+
+// BenchmarkAblation_Offload (A6): how much NIC autonomy buys — the GM
+// profile with offload artificially disabled vs enabled, prepush code.
+func BenchmarkAblation_Offload(b *testing.B) {
+	src, costs := ablationKernel()
+	pre := transform(b, src, core.Options{K: 8})
+	for _, offload := range []bool{false, true} {
+		prof := netsim.MPICHGM()
+		prof.Offload = offload
+		prof.EagerThreshold = 1024 // keep tile messages on the rendezvous path
+		b.Run(fmt.Sprintf("offload=%v", offload), func(b *testing.B) {
+			var total netsim.Time
+			for i := 0; i < b.N; i++ {
+				total += simulate(b, pre, 4, prof, costs)
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+		})
+	}
+}
+
+// BenchmarkAblation_WaitSchedule (A7): the paper's literal per-tile wait
+// (§3.6 step 2) vs the deferred-drain schedule this implementation defaults
+// to; the per-tile wait stalls a tile's owner behind the incast when
+// compute per tile is small (§3.5's congestion caveat made measurable).
+func BenchmarkAblation_WaitSchedule(b *testing.B) {
+	src, costs := ablationKernel()
+	perTile := transform(b, src, core.Options{K: 8, PerTileWait: true})
+	deferred := transform(b, src, core.Options{K: 8})
+	prof := netsim.MPICHGM()
+	for variant, text := range map[string]string{"per-tile-wait": perTile, "deferred-drain": deferred} {
+		b.Run(variant, func(b *testing.B) {
+			var total netsim.Time
+			for i := 0; i < b.N; i++ {
+				total += simulate(b, text, 4, prof, costs)
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "vms/op")
+		})
+	}
+}

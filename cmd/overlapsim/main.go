@@ -1,0 +1,87 @@
+// Command overlapsim runs a Fortran program of the supported subset on the
+// simulated cluster and reports virtual execution time, per-rank compute
+// and blocked breakdowns, and message statistics.
+//
+// Usage:
+//
+//	overlapsim [-np N] [-profile mpich-tcp|mpich-gm] [-eager BYTES]
+//	           [-elem-ns N] [-quiet] [input.f90]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/netsim"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of simulated ranks")
+	profName := flag.String("profile", "mpich-gm", "network profile (mpich-tcp, mpich-gm)")
+	eager := flag.Int64("eager", 0, "override the profile's eager threshold (bytes)")
+	elemNs := flag.Int64("elem-ns", 0, "override per-array-store compute cost (ns)")
+	quiet := flag.Bool("quiet", false, "suppress program output, print only statistics")
+	flag.Parse()
+
+	profs := netsim.Profiles()
+	prof, ok := profs[*profName]
+	if !ok {
+		names := make([]string, 0, len(profs))
+		for n := range profs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fatal(fmt.Errorf("unknown profile %q; have %v", *profName, names))
+	}
+	if *eager > 0 {
+		prof.EagerThreshold = *eager
+	}
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := interp.Load(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *elemNs > 0 {
+		prog.Costs.Store = netsim.Time(*elemNs)
+	}
+	res, err := prog.Run(*np, prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		for _, line := range res.OutputLines() {
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("profile   %s\n", prof.Name)
+	fmt.Printf("ranks     %d\n", *np)
+	fmt.Printf("elapsed   %s\n", res.Elapsed())
+	fmt.Printf("messages  %d (%d bytes)\n", res.Stats.Messages, res.Stats.Bytes)
+	for i, rs := range res.Stats.PerRank {
+		fmt.Printf("rank %-3d  finish %-12s compute %-12s blocked %-12s\n",
+			i, rs.Finish, rs.Compute, rs.Blocked)
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overlapsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command paperfigs regenerates every figure of the paper in textual form:
+//
+//	Figure 1 — normalized execution times of original vs. pre-push under
+//	           the MPICH-TCP and MPICH-GM stacks (the measured figure);
+//	Figure 2 — the direct-pattern code before/after transformation;
+//	Figure 3 — the indirect-pattern code before/after copy removal;
+//	Figure 4 — the generated staggered communication code.
+//
+// Usage:
+//
+//	paperfigs [-fig 1|2|3|4|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 3, 4, all)")
+	flag.Parse()
+
+	switch *fig {
+	case "1":
+		figure1()
+	case "2":
+		figure2()
+	case "3":
+		figure3()
+	case "4":
+		figure4()
+	case "all":
+		figure1()
+		figure2()
+		figure3()
+		figure4()
+	default:
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+func figure1() {
+	header("Figure 1: performance improvement achieved by pre-pushing")
+	cmp, err := workload.Figure1()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(cmp)
+	fmt.Println("bars (normalized execution time, smaller is better):")
+	norm := cmp.Normalized()
+	order := []string{"mpich-tcp original", "mpich-tcp prepush", "mpich-gm original", "mpich-gm prepush"}
+	for _, key := range order {
+		n := norm[key]
+		fmt.Printf("  %-22s %-6.2f %s\n", key, n, strings.Repeat("#", int(n*24)))
+	}
+	fmt.Println()
+}
+
+func figure2() {
+	header("Figure 2: direct-pattern target code before and after transformation")
+	src := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8, Weight: 0})
+	out, rep, err := core.Transform(src, core.Options{K: 4})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- (a) before ---")
+	fmt.Println(src)
+	fmt.Println("--- (b) after (K = 4) ---")
+	fmt.Println(out)
+	fmt.Fprint(os.Stderr, rep)
+	fmt.Println()
+}
+
+func figure3() {
+	header("Figure 3: indirect pattern before and after removing the redundant copy")
+	src := workload.IndirectSource(workload.IndirectParams{N: 8, NP: 4, Weight: 0})
+	out, rep, err := core.Transform(src, core.Options{K: 2})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- (a) before ---")
+	fmt.Println(src)
+	fmt.Println("--- (b) after (K = 2, temporary expanded with a buffer dimension) ---")
+	fmt.Println(out)
+	fmt.Fprint(os.Stderr, rep)
+	fmt.Println()
+}
+
+func figure4() {
+	header("Figure 4: generated communication code (staggered all-peers exchange)")
+	src := workload.Inner3DSource(workload.Inner3DParams{M: 4, NY: 16, SZ: 8, NP: 4, Weight: 0})
+	out, _, err := core.Transform(src, core.Options{K: 4})
+	if err != nil {
+		fatal(err)
+	}
+	// Show only the generated exchange block, like the paper's figure.
+	lines := strings.Split(out, "\n")
+	start, end := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "pre-push tile exchange") {
+			start = i - 1
+		}
+		if start >= 0 && strings.Contains(l, "local copy of this rank") {
+			end = i
+			break
+		}
+	}
+	if start < 0 || end < 0 {
+		fatal(fmt.Errorf("exchange block not found in transformed source"))
+	}
+	for _, l := range lines[start:end] {
+		fmt.Println(l)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Stencil / finite differences: another of the paper's motivating
+// application classes (§2). This example uses the Go-level API directly —
+// the mpi runtime over the simulated cluster — to contrast three schedules
+// of a 1-D heat-equation sweep with halo exchange:
+//
+//  1. blocking: compute everything, then exchange halos (overlap-naïve);
+//
+//  2. prepush: compute boundary cells first, start their sends
+//     asynchronously, compute the interior while data flies (the manual
+//     version of the paper's transformation);
+//
+//  3. the same two schedules under both network stacks, showing that the
+//     gain needs NIC offload.
+//
+//     go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+)
+
+const (
+	cells    = 1 << 15 // local cells per rank
+	steps    = 20
+	ranks    = 4
+	cellCost = 25 * netsim.Nanosecond // per-cell update cost
+	haloSize = 4096                   // halo cells exchanged per side
+)
+
+// sweep runs the stencil for one schedule and returns elapsed virtual time.
+func sweep(prepush bool, prof netsim.Profile) netsim.Time {
+	stats, err := mpi.Run(ranks, prof, func(r *mpi.Rank) {
+		left := (r.Me() + r.NP() - 1) % r.NP()
+		right := (r.Me() + 1) % r.NP()
+		halo := make([]int64, haloSize)
+		for i := range halo {
+			halo[i] = int64(r.Me()*1000 + i)
+		}
+		bytes := int64(8 * haloSize)
+
+		for s := 0; s < steps; s++ {
+			if prepush {
+				// Boundary cells first…
+				r.Compute(netsim.Time(2*haloSize) * cellCost)
+				// …their halos go out immediately…
+				reqs := []*mpi.Request{
+					r.Irecv(left, s, bytes, func(interface{}) {}),
+					r.Irecv(right, s, bytes, func(interface{}) {}),
+					r.Isend(left, s, bytes, func() interface{} { return halo }),
+					r.Isend(right, s, bytes, func() interface{} { return halo }),
+				}
+				// …and the interior overlaps with the transfer.
+				r.Compute(netsim.Time(cells-2*haloSize) * cellCost)
+				r.Waitall(reqs)
+			} else {
+				// Overlap-naïve: all computation, then all communication.
+				r.Compute(netsim.Time(cells) * cellCost)
+				reqs := []*mpi.Request{
+					r.Irecv(left, s, bytes, func(interface{}) {}),
+					r.Irecv(right, s, bytes, func(interface{}) {}),
+					r.Isend(left, s, bytes, func() interface{} { return halo }),
+					r.Isend(right, s, bytes, func() interface{} { return halo }),
+				}
+				r.Waitall(reqs)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats.End
+}
+
+func main() {
+	fmt.Println("1-D heat equation with halo exchange (finite differences, paper §2)")
+	fmt.Printf("ranks=%d cells/rank=%d steps=%d halo=%d cells\n\n", ranks, cells, steps, haloSize)
+	fmt.Printf("%-12s %-14s %-14s %s\n", "profile", "blocking", "prepush", "speedup")
+	for _, prof := range []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()} {
+		blocking := sweep(false, prof)
+		prepush := sweep(true, prof)
+		fmt.Printf("%-12s %-14s %-14s %.2fx\n",
+			prof.Name, blocking, prepush, float64(blocking)/float64(prepush))
+	}
+	fmt.Println("\nThe offload stack converts nearly the whole exchange into overlap;")
+	fmt.Println("the host-progress stack cannot, which is the paper's Figure 1 story.")
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"repro/internal/ftn"
+)
+
+// analyzeIndirect performs the §3.4 analysis: recognize the copy loop ℓcp,
+// locate the procedure call that fills the temporary At, and verify that
+// the copy realizes a contiguous whole-slab mapping (At element j of outer
+// iteration iy lands at linear As offset (iy-iyLo)·Count + (j-atLo)), which
+// is the condition under which removing ℓcp and sending At directly
+// preserves the original data flow At --copy--> As --send--> Ar.
+func analyzeIndirect(file *ftn.File, op *Opportunity, writes []*ftn.AssignStmt, opts Options) error {
+	if len(writes) != 1 {
+		return reject(op.L.Pos(), "indirect pattern needs exactly one copy assignment to %s, found %d", op.Call.As, len(writes))
+	}
+	w := writes[0]
+	atName := rhsArray(w.RHS, op.Arrays)
+
+	// ℓcp must be a direct child of ℓ whose body contains only scalar
+	// assignments plus the copy assignment.
+	cl := &CopyLoop{At: atName, LoopIndex: -1, CallIndex: -1}
+	for i, s := range op.L.Body {
+		if do, ok := s.(*ftn.DoStmt); ok && containsStmt(do.Body, w) {
+			cl.Loop = do
+			cl.LoopIndex = i
+			break
+		}
+	}
+	if cl.Loop == nil {
+		return reject(w.Pos(), "copy assignment is not inside a copy loop that is a direct child of the outer loop")
+	}
+	for _, s := range cl.Loop.Body {
+		switch s := s.(type) {
+		case *ftn.AssignStmt:
+			if _, ok := s.LHS.(*ftn.Ident); !ok && s != w {
+				return reject(s.Pos(), "copy loop contains an extra array assignment")
+			}
+		case *ftn.CommentStmt:
+		default:
+			return reject(s.Pos(), "copy loop contains a non-assignment statement")
+		}
+	}
+
+	// The RHS must be a single reference to At.
+	rhs, ok := w.RHS.(*ftn.Ref)
+	if !ok || rhs.Name != atName {
+		return reject(w.Pos(), "copy RHS is not a plain reference to %s", atName)
+	}
+	if len(rhs.Args) != 1 {
+		return reject(w.Pos(), "temporary %s must be one-dimensional in the copy", atName)
+	}
+
+	// The call that fills At: a direct child of ℓ preceding ℓcp.
+	for i := cl.LoopIndex - 1; i >= 0; i-- {
+		call, ok := op.L.Body[i].(*ftn.CallStmt)
+		if !ok {
+			continue
+		}
+		for argPos, a := range call.Args {
+			if n, okn := bufferName(a); okn && n == atName {
+				cl.Call = call
+				cl.CallIndex = i
+				cl.CallArgPos = argPos
+				break
+			}
+		}
+		if cl.Call != nil {
+			break
+		}
+	}
+	if cl.Call == nil {
+		return reject(cl.Loop.Pos(), "no call filling %s precedes the copy loop", atName)
+	}
+	// The callee may be in-file; if not, ask the oracle whether it writes At.
+	if sub := file.Subroutine(cl.Call.Name); sub == nil {
+		if wr, answered := opts.Oracle.ProcedureWrites(cl.Call.Name, atName); answered {
+			op.SemiAuto = true
+			if !wr {
+				return reject(cl.Call.Pos(), "user says %s does not write %s", cl.Call.Name, atName)
+			}
+		} else {
+			op.note("assuming %s writes %s (source unavailable; conservative)", cl.Call.Name, atName)
+		}
+	}
+
+	// Gather the numeric facts needed for mapping verification.
+	st := ftn.Symbols(op.Unit)
+	cl.AtDims = declTriplets(st, atName, op.Consts)
+	if len(cl.AtDims) != 1 {
+		return reject(w.Pos(), "temporary %s must be declared one-dimensional", atName)
+	}
+	if err := verifySlabMapping(op, cl, w, rhs); err != nil {
+		return err
+	}
+	op.CopyLoop = cl
+	op.NodeCase = NodeLoopOutermost // the outer ℓ loop walks As's last dim
+	op.NodeLoopLevel = 0
+	op.note("copy loop removed: %s slabs of %d elements map to whole %s planes", atName, cl.Count, op.Call.As)
+	return nil
+}
+
+// containsStmt reports whether target appears in stmts (recursively).
+func containsStmt(stmts []ftn.Stmt, target ftn.Stmt) bool {
+	found := false
+	ftn.Inspect(stmts, func(s ftn.Stmt) bool {
+		if s == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// verifySlabMapping exhaustively checks (it is a finite, small space) that
+// executing ℓcp for every outer iteration writes At's elements to
+// consecutive whole slabs of As in order: linear As offset of the element
+// copied from At(j) at outer value iy equals (iy-iyLo)·Count + (j-atLo),
+// and that the slabs exactly tile As. This is what makes
+// At -> As -> Ar equivalent to At -> Ar (§3.4).
+func verifySlabMapping(op *Opportunity, cl *CopyLoop, w *ftn.AssignStmt, rhs *ftn.Ref) error {
+	env := map[string]int64{}
+	for k, v := range op.Consts {
+		env[k] = v
+	}
+	// Numeric As dims.
+	var lo, hi, stride []int64
+	strideAcc := int64(1)
+	for d, tdim := range op.AsDims {
+		l, ok1 := tdim.Lo.Bind(op.Consts).Eval(nil)
+		h, ok2 := tdim.Hi.Bind(op.Consts).Eval(nil)
+		if !ok1 || !ok2 {
+			return reject(w.Pos(), "As dimension %d is not numeric; indirect verification needs numeric bounds", d+1)
+		}
+		lo = append(lo, l)
+		hi = append(hi, h)
+		stride = append(stride, strideAcc)
+		strideAcc *= h - l + 1
+	}
+	totalAs := strideAcc
+
+	atLo, ok := cl.AtDims[0].Lo.Bind(op.Consts).Eval(nil)
+	if !ok {
+		return reject(w.Pos(), "At lower bound is not numeric")
+	}
+
+	outerLo, ok1 := EvalInt(op.L.Lo, env)
+	outerHi, ok2 := EvalInt(op.L.Hi, env)
+	if !ok1 || !ok2 {
+		return reject(op.L.Pos(), "outer loop bounds are not numeric")
+	}
+	if op.L.Step != nil {
+		if s, oks := EvalInt(op.L.Step, env); !oks || s != 1 {
+			return reject(op.L.Pos(), "outer loop step must be 1 for the indirect transformation")
+		}
+	}
+
+	count := int64(-1)
+	for iy := outerLo; iy <= outerHi; iy++ {
+		env[op.L.Var] = iy
+		cpLo, okl := EvalInt(cl.Loop.Lo, env)
+		cpHi, okh := EvalInt(cl.Loop.Hi, env)
+		if !okl || !okh {
+			return reject(cl.Loop.Pos(), "copy loop bounds are not numeric")
+		}
+		if cl.Loop.Step != nil {
+			if s, oks := EvalInt(cl.Loop.Step, env); !oks || s != 1 {
+				return reject(cl.Loop.Pos(), "copy loop step must be 1")
+			}
+		}
+		n := cpHi - cpLo + 1
+		if count < 0 {
+			count = n
+		} else if count != n {
+			return reject(cl.Loop.Pos(), "copy loop trip count varies across outer iterations (%d vs %d)", count, n)
+		}
+		slabBase := (iy - outerLo) * count
+		for ix := cpLo; ix <= cpHi; ix++ {
+			env[cl.Loop.Var] = ix
+			// Execute the scalar assignments of the copy loop body.
+			for _, s := range cl.Loop.Body {
+				a, ok := s.(*ftn.AssignStmt)
+				if !ok || a == w {
+					continue
+				}
+				id := a.LHS.(*ftn.Ident)
+				v, okv := EvalInt(a.RHS, env)
+				if !okv {
+					return reject(a.Pos(), "cannot evaluate scalar %s in copy loop", id.Name)
+				}
+				env[id.Name] = v
+			}
+			// Destination offset.
+			lhs := w.LHS.(*ftn.Ref)
+			if len(lhs.Args) != len(op.AsDims) {
+				return reject(w.Pos(), "copy LHS rank mismatch")
+			}
+			off := int64(0)
+			for d, sub := range lhs.Args {
+				v, okv := EvalInt(sub, env)
+				if !okv {
+					return reject(w.Pos(), "cannot evaluate As subscript %d", d+1)
+				}
+				if v < lo[d] || v > hi[d] {
+					return reject(w.Pos(), "As subscript %d out of bounds (%d not in %d:%d)", d+1, v, lo[d], hi[d])
+				}
+				off += (v - lo[d]) * stride[d]
+			}
+			// Source index.
+			j, okj := EvalInt(rhs.Args[0], env)
+			if !okj {
+				return reject(w.Pos(), "cannot evaluate At subscript")
+			}
+			want := slabBase + (j - atLo)
+			if off != want {
+				return reject(w.Pos(),
+					"copy mapping is not a whole-slab mapping: at %s=%d, %s=%d the element lands at offset %d, want %d",
+					op.L.Var, iy, cl.Loop.Var, ix, off, want)
+			}
+		}
+		delete(env, cl.Loop.Var)
+	}
+	// The slabs must exactly tile As.
+	if (outerHi-outerLo+1)*count != totalAs {
+		return reject(w.Pos(), "slabs cover %d elements but %s has %d", (outerHi-outerLo+1)*count, op.Call.As, totalAs)
+	}
+	cl.Count = count
+	return nil
+}

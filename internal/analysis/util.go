@@ -1,0 +1,101 @@
+package analysis
+
+import "repro/internal/ftn"
+
+// EvalInt evaluates an integer-valued expression under env (which also
+// serves as the named-constant table). It supports the arithmetic subset
+// that appears in declarations and subscripts: + - * / ** mod min max abs.
+func EvalInt(e ftn.Expr, env map[string]int64) (int64, bool) {
+	switch e := e.(type) {
+	case *ftn.IntLit:
+		return e.Value, true
+	case *ftn.Ident:
+		v, ok := env[e.Name]
+		return v, ok
+	case *ftn.Unary:
+		x, ok := EvalInt(e.X, env)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -x, true
+		case "+":
+			return x, true
+		}
+		return 0, false
+	case *ftn.Binary:
+		x, okx := EvalInt(e.X, env)
+		y, oky := EvalInt(e.Y, env)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true // Fortran integer division truncates toward 0
+		case "**":
+			if y < 0 {
+				return 0, false
+			}
+			r := int64(1)
+			for ; y > 0; y-- {
+				r *= x
+			}
+			return r, true
+		}
+		return 0, false
+	case *ftn.Ref:
+		args := make([]int64, len(e.Args))
+		for i, a := range e.Args {
+			v, ok := EvalInt(a, env)
+			if !ok {
+				return 0, false
+			}
+			args[i] = v
+		}
+		switch e.Name {
+		case "mod":
+			if len(args) == 2 && args[1] != 0 {
+				return args[0] % args[1], true
+			}
+		case "min":
+			if len(args) >= 1 {
+				m := args[0]
+				for _, v := range args[1:] {
+					if v < m {
+						m = v
+					}
+				}
+				return m, true
+			}
+		case "max":
+			if len(args) >= 1 {
+				m := args[0]
+				for _, v := range args[1:] {
+					if v > m {
+						m = v
+					}
+				}
+				return m, true
+			}
+		case "abs":
+			if len(args) == 1 {
+				if args[0] < 0 {
+					return -args[0], true
+				}
+				return args[0], true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}

@@ -1,0 +1,213 @@
+// Package core is the Compuniformer: the paper's source-to-source
+// transformer that restructures MPI codes using MPI_ALLTOALL into tiled,
+// pre-pushing codes that overlap communication with computation.
+//
+// It ties the pipeline together: parse (ftn) → analyze (analysis, dep,
+// access) → transform (transform) → unparse (ftn), and reports what it did
+// and why it rejected what it rejected.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ftn"
+	"repro/internal/transform"
+)
+
+// Options configures a Compuniformer run.
+type Options struct {
+	// K is the tile size (iterations per tile). The paper treats choosing
+	// K as a tuning problem (§2); 8 is a reasonable default for the
+	// simulated cluster.
+	K int64
+	// NP is the number of ranks the transformed code targets. 0 means
+	// "use the program's named constant np".
+	NP int64
+	// Oracle answers semi-automatic questions (§3.1). nil means fully
+	// automatic (conservative).
+	Oracle analysis.Oracle
+	// PerTileWait selects the paper's literal per-tile wait (§3.6 step 2)
+	// instead of the default deferred-drain schedule; see
+	// transform.Options.PerTileWait.
+	PerTileWait bool
+	// InterchangeMinBlockBytes gates the §3.5 loop interchange: a legal
+	// interchange is applied only when the resulting Fig. 4 exchange sends
+	// contiguous blocks of at least this many bytes (blockElems × K × 4);
+	// below that, fragmentation overhead outweighs the balanced schedule
+	// and the subset-send fallback is used instead. 0 selects the default
+	// (2048); a negative value disables interchange entirely.
+	InterchangeMinBlockBytes int64
+}
+
+// defaultInterchangeMinBlock is the granularity gate described above.
+const defaultInterchangeMinBlock = 2048
+
+// DefaultOptions returns the options used when none are given.
+func DefaultOptions() Options { return Options{K: 8} }
+
+// SiteReport describes one MPI_ALLTOALL site's outcome.
+type SiteReport struct {
+	Pos         ftn.Pos
+	Transformed bool
+	Pattern     analysis.Pattern
+	NodeCase    analysis.NodeLoopCase
+	Result      *transform.Result
+	Reason      string   // rejection reason when not transformed
+	Notes       []string // analysis notes
+}
+
+// Report summarizes a whole run.
+type Report struct {
+	Sites []SiteReport
+}
+
+// TransformedCount returns the number of sites rewritten.
+func (r *Report) TransformedCount() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Transformed {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	out := fmt.Sprintf("compuniformer: %d site(s), %d transformed\n", len(r.Sites), r.TransformedCount())
+	for _, s := range r.Sites {
+		if s.Transformed {
+			res := s.Result
+			out += fmt.Sprintf("  %s: transformed (%s pattern, node loop %s, K=%d, NP=%d, %d msgs/tile)\n",
+				s.Pos, s.Pattern, s.NodeCase, res.K, res.NP, res.MessagesTile)
+			if res.Interchanged {
+				out += "    loop interchange applied\n"
+			}
+			for _, n := range res.Notes {
+				out += "    " + n + "\n"
+			}
+		} else {
+			out += fmt.Sprintf("  %s: rejected: %s\n", s.Pos, s.Reason)
+		}
+		for _, n := range s.Notes {
+			out += "    note: " + n + "\n"
+		}
+	}
+	return out
+}
+
+// Transform parses src, transforms every transformable MPI_ALLTOALL site,
+// and returns the rewritten source plus a report. Untransformable sites are
+// reported, not fatal; the error is non-nil only for parse failures or
+// option errors.
+func Transform(src string, opts Options) (string, *Report, error) {
+	file, err := ftn.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	report, err := TransformFile(file, opts)
+	if err != nil {
+		return "", report, err
+	}
+	return ftn.Print(file), report, nil
+}
+
+// TransformFile rewrites the AST in place.
+func TransformFile(file *ftn.File, opts Options) (*Report, error) {
+	if opts.K <= 0 {
+		opts.K = DefaultOptions().K
+	}
+	aopts := analysis.Options{Oracle: opts.Oracle, NP: int(opts.NP)}
+	topts := transform.Options{K: opts.K, NP: opts.NP, PerTileWait: opts.PerTileWait}
+	report := &Report{}
+
+	// Sites are transformed one at a time; each transformation removes its
+	// MPI_ALLTOALL, so re-running the finder converges. Rejected sites are
+	// remembered (by position) so they are reported once and skipped.
+	rejected := map[ftn.Pos]bool{}
+	for round := 0; round < 100; round++ {
+		ops, errs := analysis.FindOpportunities(file, aopts)
+		for _, e := range errs {
+			if re, ok := e.(*analysis.RejectionError); ok {
+				if !rejected[re.Pos] {
+					rejected[re.Pos] = true
+					report.Sites = append(report.Sites, SiteReport{Pos: re.Pos, Reason: re.Reason})
+				}
+			}
+		}
+		var op *analysis.Opportunity
+		for _, o := range ops {
+			if !rejected[o.Call.Stmt.Pos()] {
+				op = o
+				break
+			}
+		}
+		if op == nil {
+			break
+		}
+		pos := op.Call.Stmt.Pos()
+
+		interchanged := false
+		if op.Pattern == analysis.PatternDirect &&
+			op.NodeCase == analysis.NodeLoopOutermost && op.InterchangeOK &&
+			interchangeWorthwhile(opts, op) {
+			if err := transform.Interchange(op); err == nil {
+				interchanged = true
+				// Re-analyze: loop order (and hence the node-loop case)
+				// changed.
+				ops2, _ := analysis.FindOpportunities(file, aopts)
+				op = nil
+				for _, o := range ops2 {
+					if o.Call.Stmt.Pos() == pos {
+						op = o
+						break
+					}
+				}
+				if op == nil {
+					rejected[pos] = true
+					report.Sites = append(report.Sites, SiteReport{
+						Pos: pos, Reason: "site no longer analyzable after interchange",
+					})
+					continue
+				}
+			}
+		}
+
+		if !interchanged {
+			// Either interchange is illegal or the granularity gate chose
+			// the subset-send fallback; Apply must not see a pending flag.
+			op.InterchangeOK = false
+		}
+		res, err := transform.Apply(op, topts)
+		if err != nil {
+			rejected[pos] = true
+			sr := SiteReport{Pos: pos, Pattern: op.Pattern, NodeCase: op.NodeCase, Notes: op.Notes}
+			if te, ok := err.(*transform.Error); ok {
+				sr.Reason = te.Msg
+			} else {
+				sr.Reason = err.Error()
+			}
+			report.Sites = append(report.Sites, sr)
+			continue
+		}
+		res.Interchanged = interchanged
+		report.Sites = append(report.Sites, SiteReport{
+			Pos: pos, Transformed: true, Pattern: op.Pattern,
+			NodeCase: op.NodeCase, Result: res, Notes: op.Notes,
+		})
+	}
+	return report, nil
+}
+
+// interchangeWorthwhile applies the message-granularity gate.
+func interchangeWorthwhile(opts Options, op *analysis.Opportunity) bool {
+	min := opts.InterchangeMinBlockBytes
+	if min < 0 {
+		return false
+	}
+	if min == 0 {
+		min = defaultInterchangeMinBlock
+	}
+	return op.InterchangeBlockElems*opts.K*4 >= min
+}

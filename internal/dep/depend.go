@@ -1,0 +1,356 @@
+package dep
+
+import "fmt"
+
+// Direction is one component of a dependence direction vector, constraining
+// how the source iteration relates to the sink iteration at one loop level.
+type Direction int
+
+// Direction vector components.
+const (
+	DirStar Direction = iota // unconstrained
+	DirLT                    // source iteration strictly earlier
+	DirEQ                    // same iteration
+	DirGT                    // source iteration strictly later
+)
+
+// String renders the direction as the conventional symbol.
+func (d Direction) String() string {
+	switch d {
+	case DirStar:
+		return "*"
+	case DirLT:
+		return "<"
+	case DirEQ:
+		return "="
+	case DirGT:
+		return ">"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// Loop describes one enclosing DO loop: var, affine bounds, constant step.
+type Loop struct {
+	Var  string
+	Lo   Affine
+	Hi   Affine
+	Step int64 // nonzero; analysis is exact for any constant step
+}
+
+// SameLoop reports whether two loop records denote the same loop.
+func SameLoop(a, b Loop) bool {
+	return a.Var == b.Var && a.Step == b.Step && a.Lo.Equal(b.Lo) && a.Hi.Equal(b.Hi)
+}
+
+// Ref is one analyzed array reference.
+type Ref struct {
+	Array     string
+	Subs      []Affine // one affine form per subscript dimension
+	Write     bool
+	Loops     []Loop // enclosing loops, outermost first
+	Order     int    // lexical position, for intra-iteration ordering
+	NonAffine bool   // true when any subscript could not be analyzed
+}
+
+// CommonDepth returns the number of leading loops shared by r1 and r2.
+func CommonDepth(r1, r2 *Ref) int {
+	n := len(r1.Loops)
+	if len(r2.Loops) < n {
+		n = len(r2.Loops)
+	}
+	d := 0
+	for d < n && SameLoop(r1.Loops[d], r2.Loops[d]) {
+		d++
+	}
+	return d
+}
+
+// varName builds a solver variable name unique per (level, copy).
+func varName(kind string, level, copy int) string {
+	return fmt.Sprintf("%s%d#%d", kind, level, copy)
+}
+
+// addLoopConstraints adds, for one reference copy, the iteration-space
+// constraints of its enclosing loops: v = lo + step·k, k ≥ 0 and the
+// direction-appropriate upper bound. Shared (common-depth) loops of the two
+// copies still get independent index variables; only the constraints tie
+// them together.
+func addLoopConstraints(sys *System, r *Ref, copy int, ok *bool) {
+	for lvl, lp := range r.Loops {
+		if lp.Step == 0 {
+			*ok = false
+			return
+		}
+		iv := varName("i", lvl, copy)
+		kv := varName("k", lvl, copy)
+		// v - lo - step·k = 0, with v and k canonical names.
+		eq := lp.Lo.Rename(renameOuter(r, lvl, copy)).Scale(-1)
+		eq = eq.Add(Var(iv))
+		kterm := Var(kv).Scale(lp.Step)
+		eq = eq.Sub(kterm)
+		sys.AddEq(eq)
+		// k ≥ 0.
+		sys.AddGE(Var(kv))
+		// Terminal bound: step>0: hi - v ≥ 0 ; step<0: v - hi ≥ 0.
+		hi := lp.Hi.Rename(renameOuter(r, lvl, copy))
+		if lp.Step > 0 {
+			sys.AddGE(hi.Sub(Var(iv)))
+		} else {
+			sys.AddGE(Var(iv).Sub(hi))
+		}
+	}
+}
+
+// renameOuter maps loop-variable names appearing in bounds of loop lvl to
+// the canonical index variables of outer levels (triangular loops).
+func renameOuter(r *Ref, lvl, copy int) func(string) string {
+	return func(v string) string {
+		for outer := 0; outer < lvl; outer++ {
+			if r.Loops[outer].Var == v {
+				return varName("i", outer, copy)
+			}
+		}
+		// Not an enclosing loop variable: keep as a shared unknown.
+		return "?" + v
+	}
+}
+
+// renameSubs maps a subscript's loop variables to canonical index variables.
+func renameSubs(r *Ref, copy int) func(string) string {
+	return func(v string) string {
+		for lvl := range r.Loops {
+			if r.Loops[lvl].Var == v {
+				return varName("i", lvl, copy)
+			}
+		}
+		return "?" + v
+	}
+}
+
+// TestDirection decides whether a dependence from r1 (source) to r2 (sink)
+// can exist under the given direction vector over their common loops.
+// dirs may be shorter than the common depth; missing entries are DirStar.
+func TestDirection(r1, r2 *Ref, dirs []Direction) Feasibility {
+	if r1.NonAffine || r2.NonAffine {
+		return Unknown
+	}
+	if r1.Array != r2.Array || len(r1.Subs) != len(r2.Subs) {
+		return Infeasible
+	}
+	sys := &System{}
+	ok := true
+	addLoopConstraints(sys, r1, 1, &ok)
+	addLoopConstraints(sys, r2, 2, &ok)
+	if !ok {
+		return Unknown
+	}
+	// Subscript equality per dimension.
+	for d := range r1.Subs {
+		s1 := r1.Subs[d].Rename(renameSubs(r1, 1))
+		s2 := r2.Subs[d].Rename(renameSubs(r2, 2))
+		sys.AddEq(s1.Sub(s2))
+	}
+	// Direction constraints over iteration counters of common loops.
+	common := CommonDepth(r1, r2)
+	for lvl := 0; lvl < common && lvl < len(dirs); lvl++ {
+		k1 := Var(varName("k", lvl, 1))
+		k2 := Var(varName("k", lvl, 2))
+		switch dirs[lvl] {
+		case DirLT:
+			sys.AddGE(k2.Sub(k1).Add(NewAffine(-1))) // k2 - k1 - 1 >= 0
+		case DirEQ:
+			sys.AddEq(k1.Sub(k2))
+		case DirGT:
+			sys.AddGE(k1.Sub(k2).Add(NewAffine(-1)))
+		case DirStar:
+		}
+	}
+	return sys.Solve()
+}
+
+// Depends decides whether any instance of r1 executes before an instance of
+// r2 touching the same array element (the generic dependence question; the
+// caller selects flow/anti/output by the refs' Write flags).
+func Depends(r1, r2 *Ref) Feasibility {
+	if r1.NonAffine || r2.NonAffine {
+		return Unknown
+	}
+	common := CommonDepth(r1, r2)
+	result := Infeasible
+	// Classes (=^j, <, *^rest) for j in [0, common).
+	for j := 0; j < common; j++ {
+		dirs := make([]Direction, common)
+		for i := 0; i < j; i++ {
+			dirs[i] = DirEQ
+		}
+		dirs[j] = DirLT
+		for i := j + 1; i < common; i++ {
+			dirs[i] = DirStar
+		}
+		switch TestDirection(r1, r2, dirs) {
+		case Feasible:
+			return Feasible
+		case Unknown:
+			result = Unknown
+		}
+	}
+	// Same-iteration class: r1 lexically precedes r2.
+	if r1.Order < r2.Order {
+		dirs := make([]Direction, common)
+		for i := range dirs {
+			dirs[i] = DirEQ
+		}
+		switch TestDirection(r1, r2, dirs) {
+		case Feasible:
+			return Feasible
+		case Unknown:
+			result = Unknown
+		}
+	}
+	return result
+}
+
+// HasOutputDepAfter reports whether some later write overwrites the element
+// written by w: this is the paper's §3.3 safety question. A reference is
+// safe to send once no output dependence leaves it. The w == w2 pair is
+// included deliberately: a reference can overwrite itself across iterations.
+func HasOutputDepAfter(w *Ref, writes []*Ref) Feasibility {
+	result := Infeasible
+	for _, w2 := range writes {
+		if !w2.Write {
+			continue
+		}
+		switch Depends(w, w2) {
+		case Feasible:
+			return Feasible
+		case Unknown:
+			result = Unknown
+		}
+	}
+	return result
+}
+
+// DirectionVectors enumerates all feasible direction vectors (over common
+// loops) for dependences from r1 to r2, restricted to plausible vectors
+// (lexicographically positive, or all-= when r1 precedes r2 textually).
+// The second result is false when any class was Unknown (then the returned
+// set additionally contains those unknown vectors, conservatively).
+func DirectionVectors(r1, r2 *Ref) ([][]Direction, bool) {
+	common := CommonDepth(r1, r2)
+	exact := true
+	var out [][]Direction
+	if r1.NonAffine || r2.NonAffine {
+		// Conservative: every plausible vector.
+		exact = false
+		out = append(out, allPlausible(common, r1.Order < r2.Order)...)
+		return out, exact
+	}
+	var rec func(prefix []Direction)
+	rec = func(prefix []Direction) {
+		if len(prefix) == common {
+			if !plausible(prefix, r1.Order < r2.Order) {
+				return
+			}
+			switch TestDirection(r1, r2, prefix) {
+			case Feasible:
+				out = append(out, append([]Direction(nil), prefix...))
+			case Unknown:
+				exact = false
+				out = append(out, append([]Direction(nil), prefix...))
+			}
+			return
+		}
+		// Prune: test the partial vector (rest DirStar) first.
+		dirs := append(append([]Direction(nil), prefix...), make([]Direction, common-len(prefix))...)
+		for i := len(prefix); i < common; i++ {
+			dirs[i] = DirStar
+		}
+		if TestDirection(r1, r2, dirs) == Infeasible {
+			return
+		}
+		for _, d := range []Direction{DirLT, DirEQ, DirGT} {
+			rec(append(prefix, d))
+		}
+	}
+	rec(nil)
+	return out, exact
+}
+
+// plausible reports whether the vector can describe a source-before-sink
+// dependence: leading non-= must be <; all-= requires textual precedence.
+func plausible(dirs []Direction, textOrder bool) bool {
+	for _, d := range dirs {
+		switch d {
+		case DirLT:
+			return true
+		case DirGT:
+			return false
+		}
+	}
+	return textOrder
+}
+
+func allPlausible(n int, textOrder bool) [][]Direction {
+	var out [][]Direction
+	var rec func(prefix []Direction)
+	rec = func(prefix []Direction) {
+		if len(prefix) == n {
+			if plausible(prefix, textOrder) {
+				out = append(out, append([]Direction(nil), prefix...))
+			}
+			return
+		}
+		for _, d := range []Direction{DirLT, DirEQ, DirGT} {
+			rec(append(prefix, d))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// InterchangeLegal decides whether interchanging loop levels p and q (0-based
+// positions within the refs' common nest) preserves all dependences among
+// refs. The second result is false when the answer relied on conservative
+// (Unknown) dependence information.
+func InterchangeLegal(refs []*Ref, p, q int) (bool, bool) {
+	exact := true
+	for _, r1 := range refs {
+		for _, r2 := range refs {
+			if !r1.Write && !r2.Write {
+				continue // read-read pairs impose nothing
+			}
+			vecs, ex := DirectionVectors(r1, r2)
+			if !ex {
+				exact = false
+			}
+			for _, v := range vecs {
+				if p >= len(v) || q >= len(v) {
+					continue
+				}
+				perm := append([]Direction(nil), v...)
+				perm[p], perm[q] = perm[q], perm[p]
+				if !lexNonNegative(perm) {
+					return false, exact
+				}
+			}
+		}
+	}
+	return true, exact
+}
+
+// lexNonNegative reports whether the permuted vector still describes a
+// forward (or same-iteration) dependence.
+func lexNonNegative(dirs []Direction) bool {
+	for _, d := range dirs {
+		switch d {
+		case DirLT:
+			return true
+		case DirGT:
+			return false
+		case DirStar:
+			// '*' includes '>' possibilities: conservatively not legal.
+			return false
+		}
+	}
+	return true
+}

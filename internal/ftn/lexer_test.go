@@ -1,0 +1,233 @@
+package ftn
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsOf(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("x = a + b*2 - c/3 ** 2")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{IDENT, ASSIGN, IDENT, PLUS, IDENT, STAR, INTLIT, MINUS, IDENT, SLASH, INTLIT, POW, INTLIT, EOF}
+	got := kindsOf(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIdentifiersLowercased(t *testing.T) {
+	toks, err := Lex("MPI_AllToAll NX")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Text != "mpi_alltoall" {
+		t.Errorf("ident text = %q, want mpi_alltoall", toks[0].Text)
+	}
+	if toks[1].Text != "nx" {
+		t.Errorf("ident text = %q, want nx", toks[1].Text)
+	}
+}
+
+func TestLexDotOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+	}{
+		{".and.", AND}, {".or.", OR}, {".not.", NOT},
+		{".eq.", EQ}, {".ne.", NE}, {".lt.", LT},
+		{".le.", LE}, {".gt.", GT}, {".ge.", GE},
+		{".true.", TRUE}, {".false.", FALSE},
+		{".AND.", AND}, {".True.", TRUE},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("Lex(%q) = %s, want %s", c.src, toks[0].Kind, c.kind)
+		}
+	}
+}
+
+func TestLexF77RelationalBetweenNumbers(t *testing.T) {
+	toks, err := Lex("1.eq.2")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{INTLIT, EQ, INTLIT, EOF}
+	got := kindsOf(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lex(1.eq.2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+		text string
+	}{
+		{"42", INTLIT, "42"},
+		{"3.5", REALLIT, "3.5"},
+		{"1.", REALLIT, "1."},
+		{".5", REALLIT, ".5"},
+		{"1e3", REALLIT, "1e3"},
+		{"2.5e-2", REALLIT, "2.5e-2"},
+		{"1d0", REALLIT, "1e0"},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("Lex(%q) = %s %q, want %s %q", c.src, toks[0].Kind, toks[0].Text, c.kind, c.text)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'it''s' \"double\"")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != STRLIT || toks[0].Text != "it's" {
+		t.Errorf("tok0 = %v, want STRLIT it's", toks[0])
+	}
+	if toks[1].Kind != STRLIT || toks[1].Text != "double" {
+		t.Errorf("tok1 = %v, want STRLIT double", toks[1])
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	src := "call foo(a, &\n  b, c)"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			t.Fatalf("continuation produced NEWLINE: %v", toks)
+		}
+	}
+	// The optional leading '&' on the continued line is consumed too.
+	src2 := "call foo(a, &\n  & b, c)"
+	toks2, err := Lex(src2)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if len(toks2) != len(toks) {
+		t.Errorf("leading-& form differs: %v vs %v", toks2, toks)
+	}
+}
+
+func TestLexCommentWholeLineEmitted(t *testing.T) {
+	src := "x = 1\n! whole line comment\ny = 2 ! trailing comment\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	nComments := 0
+	for _, tok := range toks {
+		if tok.Kind == COMMENT {
+			nComments++
+			if !strings.HasPrefix(tok.Text, "!") {
+				t.Errorf("comment text = %q, want leading '!'", tok.Text)
+			}
+		}
+	}
+	if nComments != 1 {
+		t.Errorf("comment tokens = %d, want 1 (trailing comments dropped)", nComments)
+	}
+}
+
+func TestLexNewlinesCollapsed(t *testing.T) {
+	toks, err := Lex("\n\n\nx = 1\n\n\ny = 2\n\n")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	for i := 1; i < len(toks); i++ {
+		if toks[i].Kind == NEWLINE && toks[i-1].Kind == NEWLINE {
+			t.Fatalf("consecutive NEWLINE tokens at %d: %v", i, toks)
+		}
+	}
+	if toks[0].Kind == NEWLINE {
+		t.Fatalf("leading NEWLINE not dropped: %v", toks)
+	}
+}
+
+func TestLexOperatorsComposite(t *testing.T) {
+	toks, err := Lex(":: == /= <= >= ** // < > =")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{DCOLON, EQ, NE, LE, GE, POW, CONCAT, LT, GT, ASSIGN, EOF}
+	got := kindsOf(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a = 1\n  b = 2")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	// Find 'b'.
+	for _, tok := range toks {
+		if tok.Kind == IDENT && tok.Text == "b" {
+			if tok.Pos.Line != 2 || tok.Pos.Col != 3 {
+				t.Errorf("b at %v, want 2:3", tok.Pos)
+			}
+			return
+		}
+	}
+	t.Fatal("token b not found")
+}
+
+func TestLexErrorUnterminatedString(t *testing.T) {
+	_, err := Lex("s = 'oops\n")
+	if err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestLexErrorBadDotOp(t *testing.T) {
+	_, err := Lex("x .nope. y")
+	if err == nil {
+		t.Fatal("want error for unknown dot operator")
+	}
+}
+
+func TestLexPercent(t *testing.T) {
+	toks, err := Lex("ix % 10")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[1].Kind != PERCENT {
+		t.Errorf("tok1 = %v, want %%", toks[1])
+	}
+}

@@ -1,0 +1,886 @@
+package ftn
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parser builds the AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []*Error
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return f, p.errs[0]
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and for
+// parsing generated code known to be valid.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic("ftn.MustParse: " + err.Error())
+	}
+	return f
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...interface{}) {
+	if len(p.errs) < 50 {
+		p.errs = append(p.errs, errf(pos, format, args...))
+	}
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return t
+	}
+	return p.next()
+}
+
+// atKeyword reports whether the current token is the identifier kw.
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == IDENT && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) {
+	if !p.acceptKeyword(kw) {
+		p.errorf(p.cur().Pos, "expected %q, found %s", kw, p.cur())
+		p.skipToNewline()
+	}
+}
+
+func (p *Parser) skipToNewline() {
+	for p.cur().Kind != NEWLINE && p.cur().Kind != EOF {
+		p.next()
+	}
+}
+
+func (p *Parser) endOfStmt() {
+	switch p.cur().Kind {
+	case NEWLINE, SEMICOLON:
+		p.next()
+	case EOF:
+	default:
+		p.errorf(p.cur().Pos, "expected end of statement, found %s", p.cur())
+		p.skipToNewline()
+	}
+}
+
+func (p *Parser) skipNewlines() {
+	for p.cur().Kind == NEWLINE || p.cur().Kind == SEMICOLON {
+		p.next()
+	}
+}
+
+// parseFile parses all program units in the file.
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	p.skipNewlines()
+	for p.cur().Kind != EOF {
+		// Skip file-level comments between units.
+		if p.cur().Kind == COMMENT {
+			p.next()
+			p.skipNewlines()
+			continue
+		}
+		u := p.parseUnit()
+		if u == nil {
+			break
+		}
+		f.Units = append(f.Units, u)
+		p.skipNewlines()
+	}
+	return f
+}
+
+// parseUnit parses one program/subroutine/function unit.
+func (p *Parser) parseUnit() *Unit {
+	t := p.cur()
+	if t.Kind != IDENT {
+		p.errorf(t.Pos, "expected program unit, found %s", t)
+		p.next()
+		return nil
+	}
+	switch t.Text {
+	case "program":
+		p.next()
+		name := p.expect(IDENT).Text
+		p.endOfStmt()
+		u := &Unit{Kind: ProgramUnit, Name: name, XPos: t.Pos}
+		p.parseUnitBody(u)
+		return u
+	case "subroutine":
+		p.next()
+		name := p.expect(IDENT).Text
+		u := &Unit{Kind: SubroutineUnit, Name: name, XPos: t.Pos}
+		if p.accept(LPAREN) {
+			for !p.accept(RPAREN) {
+				u.Params = append(u.Params, p.expect(IDENT).Text)
+				if !p.accept(COMMA) {
+					p.expect(RPAREN)
+					break
+				}
+			}
+		}
+		p.endOfStmt()
+		p.parseUnitBody(u)
+		return u
+	default:
+		p.errorf(t.Pos, "expected 'program' or 'subroutine', found %q", t.Text)
+		p.skipToNewline()
+		p.next()
+		return nil
+	}
+}
+
+// parseUnitBody parses declarations then executable statements up to END.
+func (p *Parser) parseUnitBody(u *Unit) {
+	inSpec := true
+	// Comments seen in the spec part are buffered: if they immediately
+	// precede the first executable statement they belong to the body;
+	// if another declaration follows they are dropped.
+	var pendingComments []Stmt
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == EOF {
+			p.errorf(t.Pos, "missing 'end' for %s %s", u.Kind, u.Name)
+			return
+		}
+		if t.Kind == COMMENT {
+			p.next()
+			c := &CommentStmt{Text: t.Text, XPos: t.Pos}
+			if inSpec {
+				pendingComments = append(pendingComments, c)
+			} else {
+				u.Body = append(u.Body, c)
+			}
+			continue
+		}
+		if t.Kind == IDENT && t.Text == "end" && !p.isAssignment() {
+			p.next()
+			// Optional "program|subroutine [name]".
+			if p.atKeyword(u.Kind.String()) {
+				p.next()
+				if p.cur().Kind == IDENT {
+					p.next()
+				}
+			}
+			p.endOfStmt()
+			return
+		}
+		if inSpec && p.atSpecStatement() {
+			pendingComments = nil
+			p.parseSpecStatement(u)
+			continue
+		}
+		if inSpec {
+			inSpec = false
+			u.Body = append(u.Body, pendingComments...)
+			pendingComments = nil
+		}
+		s := p.parseStatement()
+		if s != nil {
+			u.Body = append(u.Body, s)
+		}
+	}
+}
+
+// atSpecStatement reports whether the current statement is declarative.
+func (p *Parser) atSpecStatement() bool {
+	t := p.cur()
+	if t.Kind != IDENT {
+		return false
+	}
+	switch t.Text {
+	case "integer", "real", "double", "logical", "character", "implicit", "include", "parameter":
+		// A spec keyword followed by '=' is actually an assignment to a
+		// variable that shares the keyword's name ("real = 3" is legal
+		// Fortran); rule it out.
+		return p.peek().Kind != ASSIGN && p.peek().Kind != LPAREN ||
+			t.Text == "parameter" || t.Text == "character"
+	}
+	return false
+}
+
+// isAssignment reports whether the statement starting at the current token
+// is an assignment ("name = ..." or "name(...) = ...").
+func (p *Parser) isAssignment() bool {
+	if p.cur().Kind != IDENT {
+		return false
+	}
+	if p.peek().Kind == ASSIGN {
+		return true
+	}
+	if p.peek().Kind != LPAREN {
+		return false
+	}
+	// Scan past the balanced parens and check for '='.
+	depth := 0
+	for i := p.pos + 1; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case LPAREN:
+			depth++
+		case RPAREN:
+			depth--
+			if depth == 0 {
+				return i+1 < len(p.toks) && p.toks[i+1].Kind == ASSIGN
+			}
+		case NEWLINE, EOF:
+			return false
+		}
+	}
+	return false
+}
+
+// parseSpecStatement parses one declaration-part statement into u.
+func (p *Parser) parseSpecStatement(u *Unit) {
+	t := p.cur()
+	switch t.Text {
+	case "implicit":
+		p.next()
+		p.expectKeyword("none")
+		u.ImplicitNone = true
+		p.endOfStmt()
+	case "include":
+		p.next()
+		path := p.expect(STRLIT).Text
+		u.Includes = append(u.Includes, path)
+		p.endOfStmt()
+	case "parameter":
+		// F77 style: parameter (name = expr, ...)
+		p.next()
+		p.expect(LPAREN)
+		for {
+			name := p.expect(IDENT).Text
+			p.expect(ASSIGN)
+			val := p.parseExpr()
+			p.patchParameter(u, name, val, t.Pos)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		p.expect(RPAREN)
+		p.endOfStmt()
+	default:
+		d := p.parseDecl()
+		if d != nil {
+			u.Decls = append(u.Decls, d)
+		}
+	}
+}
+
+// patchParameter marks an already-declared entity as a named constant.
+func (p *Parser) patchParameter(u *Unit, name string, val Expr, pos Pos) {
+	for _, d := range u.Decls {
+		for _, e := range d.Entities {
+			if e.Name == name {
+				e.Init = val
+				d.Parameter = true
+				return
+			}
+		}
+	}
+	// Implicitly typed named constant: synthesize an integer decl.
+	u.Decls = append(u.Decls, &Decl{
+		Type:      TypeSpec{Base: TInteger},
+		Parameter: true,
+		Entities:  []*Entity{{Name: name, Init: val}},
+		XPos:      pos,
+	})
+}
+
+// parseDecl parses a type declaration statement.
+func (p *Parser) parseDecl() *Decl {
+	t := p.cur()
+	d := &Decl{XPos: t.Pos}
+	switch t.Text {
+	case "integer":
+		p.next()
+		d.Type = TypeSpec{Base: TInteger}
+	case "real":
+		p.next()
+		d.Type = TypeSpec{Base: TReal}
+		// Accept "real*8".
+		if p.cur().Kind == STAR && p.peek().Kind == INTLIT {
+			p.next()
+			p.next()
+			d.Type.Base = TDouble
+		}
+	case "double":
+		p.next()
+		p.expectKeyword("precision")
+		d.Type = TypeSpec{Base: TDouble}
+	case "logical":
+		p.next()
+		d.Type = TypeSpec{Base: TLogical}
+	case "character":
+		p.next()
+		d.Type = TypeSpec{Base: TCharacter}
+		if p.accept(LPAREN) {
+			if p.acceptKeyword("len") {
+				p.expect(ASSIGN)
+			}
+			d.Type.Len = p.parseExpr()
+			p.expect(RPAREN)
+		} else if p.accept(STAR) {
+			lit := p.expect(INTLIT)
+			n, _ := strconv.ParseInt(lit.Text, 10, 64)
+			d.Type.Len = &IntLit{Value: n, XPos: lit.Pos}
+		}
+	default:
+		p.errorf(t.Pos, "expected type specifier, found %q", t.Text)
+		p.skipToNewline()
+		return nil
+	}
+
+	// Attributes: , parameter , dimension(...) , intent(...)
+	for p.cur().Kind == COMMA {
+		p.next()
+		a := p.expect(IDENT)
+		switch a.Text {
+		case "parameter":
+			d.Parameter = true
+		case "dimension":
+			p.expect(LPAREN)
+			d.DimAttr = p.parseDims()
+			p.expect(RPAREN)
+		case "intent":
+			p.expect(LPAREN)
+			io := p.expect(IDENT).Text
+			if io == "in" && p.atKeyword("out") {
+				p.next()
+				io = "inout"
+			}
+			d.Intent = io
+			p.expect(RPAREN)
+		default:
+			p.errorf(a.Pos, "unknown declaration attribute %q", a.Text)
+		}
+	}
+	p.accept(DCOLON)
+
+	// Entities.
+	for {
+		name := p.expect(IDENT).Text
+		e := &Entity{Name: name}
+		if p.accept(LPAREN) {
+			e.Dims = p.parseDims()
+			p.expect(RPAREN)
+		}
+		if p.accept(ASSIGN) {
+			e.Init = p.parseExpr()
+		}
+		d.Entities = append(d.Entities, e)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.endOfStmt()
+	return d
+}
+
+// parseDims parses a comma-separated dimension list "lo:hi, n, *".
+func (p *Parser) parseDims() []Dim {
+	var dims []Dim
+	for {
+		var dm Dim
+		if p.cur().Kind == STAR {
+			p.next()
+			// Assumed-size: both bounds nil with Hi marked by nil; Lo=1.
+			dims = append(dims, Dim{})
+			if !p.accept(COMMA) {
+				return dims
+			}
+			continue
+		}
+		first := p.parseExpr()
+		if p.accept(COLON) {
+			dm.Lo = first
+			if p.cur().Kind == STAR {
+				p.next()
+				dm.Hi = nil // assumed size with explicit lower bound
+			} else {
+				dm.Hi = p.parseExpr()
+			}
+		} else {
+			dm.Hi = first // "n" means 1:n
+		}
+		dims = append(dims, dm)
+		if !p.accept(COMMA) {
+			return dims
+		}
+	}
+}
+
+// parseStatement parses one executable statement (which may be a construct).
+func (p *Parser) parseStatement() Stmt {
+	t := p.cur()
+	if t.Kind == COMMENT {
+		p.next()
+		return &CommentStmt{Text: t.Text, XPos: t.Pos}
+	}
+	if t.Kind != IDENT {
+		p.errorf(t.Pos, "expected statement, found %s", t)
+		p.skipToNewline()
+		p.next()
+		return nil
+	}
+	// Keywords can also be variable names; assignment wins.
+	if p.isAssignment() {
+		return p.parseAssign()
+	}
+	switch t.Text {
+	case "do":
+		return p.parseDo()
+	case "if":
+		return p.parseIf()
+	case "call":
+		return p.parseCall()
+	case "print":
+		return p.parsePrint()
+	case "write":
+		return p.parseWrite()
+	case "return":
+		p.next()
+		p.endOfStmt()
+		return &ReturnStmt{XPos: t.Pos}
+	case "stop":
+		p.next()
+		if p.cur().Kind == STRLIT || p.cur().Kind == INTLIT {
+			p.next() // stop code, ignored
+		}
+		p.endOfStmt()
+		return &StopStmt{XPos: t.Pos}
+	case "continue":
+		p.next()
+		p.endOfStmt()
+		return &ContinueStmt{XPos: t.Pos}
+	case "exit":
+		p.next()
+		p.endOfStmt()
+		return &ExitStmt{XPos: t.Pos}
+	case "cycle":
+		p.next()
+		p.endOfStmt()
+		return &CycleStmt{XPos: t.Pos}
+	}
+	p.errorf(t.Pos, "unexpected statement keyword %q", t.Text)
+	p.skipToNewline()
+	p.next()
+	return nil
+}
+
+func (p *Parser) parseAssign() Stmt {
+	t := p.cur()
+	lhs := p.parseDesignator()
+	p.expect(ASSIGN)
+	rhs := p.parseExpr()
+	p.endOfStmt()
+	return &AssignStmt{LHS: lhs, RHS: rhs, XPos: t.Pos}
+}
+
+// parseDesignator parses "name" or "name(args)" as an assignment target.
+func (p *Parser) parseDesignator() Expr {
+	t := p.expect(IDENT)
+	if p.accept(LPAREN) {
+		r := &Ref{Name: t.Text, XPos: t.Pos}
+		for !p.accept(RPAREN) {
+			r.Args = append(r.Args, p.parseExpr())
+			if !p.accept(COMMA) {
+				p.expect(RPAREN)
+				break
+			}
+		}
+		return r
+	}
+	return &Ident{Name: t.Text, XPos: t.Pos}
+}
+
+func (p *Parser) parseDo() Stmt {
+	t := p.next() // 'do'
+	v := p.expect(IDENT).Text
+	p.expect(ASSIGN)
+	lo := p.parseExpr()
+	p.expect(COMMA)
+	hi := p.parseExpr()
+	var step Expr
+	if p.accept(COMMA) {
+		step = p.parseExpr()
+	}
+	p.endOfStmt()
+	body := p.parseBlock(func() bool { return p.atEndDo() })
+	p.consumeEndDo()
+	return &DoStmt{Var: v, Lo: lo, Hi: hi, Step: step, Body: body, XPos: t.Pos}
+}
+
+func (p *Parser) atEndDo() bool {
+	if p.atKeyword("enddo") {
+		return true
+	}
+	return p.atKeyword("end") && p.peek().Kind == IDENT && p.peek().Text == "do"
+}
+
+func (p *Parser) consumeEndDo() {
+	if p.acceptKeyword("enddo") {
+		p.endOfStmt()
+		return
+	}
+	p.expectKeyword("end")
+	p.expectKeyword("do")
+	p.endOfStmt()
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.next() // 'if'
+	p.expect(LPAREN)
+	cond := p.parseExpr()
+	p.expect(RPAREN)
+	if !p.acceptKeyword("then") {
+		// One-line IF: "if (cond) stmt".
+		inner := p.parseStatement()
+		s := &IfStmt{Cond: cond, XPos: t.Pos}
+		if inner != nil {
+			s.Then = []Stmt{inner}
+		}
+		return s
+	}
+	p.endOfStmt()
+	s := &IfStmt{Cond: cond, XPos: t.Pos}
+	s.Then = p.parseBlock(func() bool { return p.atIfBranch() })
+	p.parseIfTail(s)
+	return s
+}
+
+// atIfBranch reports whether the current statement starts an else/elseif/endif.
+func (p *Parser) atIfBranch() bool {
+	if p.atKeyword("else") || p.atKeyword("elseif") || p.atKeyword("endif") {
+		return true
+	}
+	return p.atKeyword("end") && p.peek().Kind == IDENT && p.peek().Text == "if"
+}
+
+// parseIfTail parses the else/elseif/endif following a then-block.
+func (p *Parser) parseIfTail(s *IfStmt) {
+	switch {
+	case p.acceptKeyword("endif"):
+		p.endOfStmt()
+	case p.atKeyword("end"):
+		p.next()
+		p.expectKeyword("if")
+		p.endOfStmt()
+	case p.acceptKeyword("elseif"):
+		p.parseElseIf(s)
+	case p.acceptKeyword("else"):
+		if p.acceptKeyword("if") {
+			p.parseElseIf(s)
+			return
+		}
+		p.endOfStmt()
+		s.Else = p.parseBlock(func() bool { return p.atIfBranch() })
+		switch {
+		case p.acceptKeyword("endif"):
+			p.endOfStmt()
+		case p.atKeyword("end"):
+			p.next()
+			p.expectKeyword("if")
+			p.endOfStmt()
+		default:
+			p.errorf(p.cur().Pos, "expected 'end if' after else block")
+		}
+	default:
+		p.errorf(p.cur().Pos, "expected else/end if, found %s", p.cur())
+	}
+}
+
+// parseElseIf parses "(cond) then <block> ..." after an elseif keyword and
+// nests it as a single IfStmt in s.Else.
+func (p *Parser) parseElseIf(s *IfStmt) {
+	t := p.cur()
+	p.expect(LPAREN)
+	cond := p.parseExpr()
+	p.expect(RPAREN)
+	p.expectKeyword("then")
+	p.endOfStmt()
+	nested := &IfStmt{Cond: cond, XPos: t.Pos}
+	nested.Then = p.parseBlock(func() bool { return p.atIfBranch() })
+	p.parseIfTail(nested)
+	s.Else = []Stmt{nested}
+}
+
+// parseBlock parses statements until stop() is true or 'end'/'EOF'.
+func (p *Parser) parseBlock(stop func() bool) []Stmt {
+	var body []Stmt
+	for {
+		p.skipNewlines()
+		if p.cur().Kind == EOF {
+			p.errorf(p.cur().Pos, "unexpected end of file in block")
+			return body
+		}
+		if stop() && !p.isAssignment() {
+			return body
+		}
+		// Bare 'end' (unit end) also stops block parsing to avoid runaway.
+		if p.atKeyword("end") && !p.isAssignment() {
+			return body
+		}
+		s := p.parseStatement()
+		if s != nil {
+			body = append(body, s)
+		}
+	}
+}
+
+func (p *Parser) parseCall() Stmt {
+	t := p.next() // 'call'
+	name := p.expect(IDENT).Text
+	s := &CallStmt{Name: name, XPos: t.Pos}
+	if p.accept(LPAREN) {
+		for !p.accept(RPAREN) {
+			s.Args = append(s.Args, p.parseExpr())
+			if !p.accept(COMMA) {
+				p.expect(RPAREN)
+				break
+			}
+		}
+	}
+	p.endOfStmt()
+	return s
+}
+
+func (p *Parser) parsePrint() Stmt {
+	t := p.next() // 'print'
+	p.expect(STAR)
+	s := &PrintStmt{XPos: t.Pos}
+	for p.accept(COMMA) {
+		s.Args = append(s.Args, p.parseExpr())
+	}
+	p.endOfStmt()
+	return s
+}
+
+func (p *Parser) parseWrite() Stmt {
+	t := p.next() // 'write'
+	p.expect(LPAREN)
+	p.expect(STAR)
+	p.expect(COMMA)
+	p.expect(STAR)
+	p.expect(RPAREN)
+	s := &PrintStmt{XPos: t.Pos}
+	for p.cur().Kind != NEWLINE && p.cur().Kind != EOF && p.cur().Kind != SEMICOLON {
+		s.Args = append(s.Args, p.parseExpr())
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.endOfStmt()
+	return s
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	x := p.parseAnd()
+	for p.cur().Kind == OR {
+		t := p.next()
+		y := p.parseAnd()
+		x = &Binary{Op: ".or.", X: x, Y: y, XPos: t.Pos}
+	}
+	return x
+}
+
+func (p *Parser) parseAnd() Expr {
+	x := p.parseNot()
+	for p.cur().Kind == AND {
+		t := p.next()
+		y := p.parseNot()
+		x = &Binary{Op: ".and.", X: x, Y: y, XPos: t.Pos}
+	}
+	return x
+}
+
+func (p *Parser) parseNot() Expr {
+	if p.cur().Kind == NOT {
+		t := p.next()
+		x := p.parseNot()
+		return &Unary{Op: ".not.", X: x, XPos: t.Pos}
+	}
+	return p.parseRel()
+}
+
+var relOps = map[TokKind]string{EQ: "==", NE: "/=", LT: "<", LE: "<=", GT: ">", GE: ">="}
+
+func (p *Parser) parseRel() Expr {
+	x := p.parseAdd()
+	if op, ok := relOps[p.cur().Kind]; ok {
+		t := p.next()
+		y := p.parseAdd()
+		return &Binary{Op: op, X: x, Y: y, XPos: t.Pos}
+	}
+	return x
+}
+
+func (p *Parser) parseAdd() Expr {
+	var x Expr
+	// Leading sign.
+	switch p.cur().Kind {
+	case MINUS:
+		t := p.next()
+		x = &Unary{Op: "-", X: p.parseMul(), XPos: t.Pos}
+	case PLUS:
+		p.next()
+		x = p.parseMul()
+	default:
+		x = p.parseMul()
+	}
+	for {
+		switch p.cur().Kind {
+		case PLUS:
+			t := p.next()
+			x = &Binary{Op: "+", X: x, Y: p.parseMul(), XPos: t.Pos}
+		case MINUS:
+			t := p.next()
+			x = &Binary{Op: "-", X: x, Y: p.parseMul(), XPos: t.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseMul() Expr {
+	x := p.parsePow()
+	for {
+		switch p.cur().Kind {
+		case STAR:
+			t := p.next()
+			x = &Binary{Op: "*", X: x, Y: p.parsePow(), XPos: t.Pos}
+		case SLASH:
+			t := p.next()
+			x = &Binary{Op: "/", X: x, Y: p.parsePow(), XPos: t.Pos}
+		case PERCENT:
+			// Accept the Fig. 3 pseudo-code "a % b" as mod(a, b).
+			t := p.next()
+			x = &Ref{Name: "mod", Args: []Expr{x, p.parsePow()}, XPos: t.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePow() Expr {
+	x := p.parsePrimary()
+	if p.cur().Kind == POW {
+		t := p.next()
+		// Right-associative; unary minus binds tighter on the right operand.
+		var y Expr
+		if p.cur().Kind == MINUS {
+			mt := p.next()
+			y = &Unary{Op: "-", X: p.parsePow(), XPos: mt.Pos}
+		} else {
+			y = p.parsePow()
+		}
+		return &Binary{Op: "**", X: x, Y: y, XPos: t.Pos}
+	}
+	return x
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Value: v, XPos: t.Pos}
+	case REALLIT:
+		p.next()
+		v, err := strconv.ParseFloat(strings.TrimSuffix(t.Text, "."), 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad real literal %q", t.Text)
+		}
+		return &RealLit{Value: v, Text: t.Text, XPos: t.Pos}
+	case STRLIT:
+		p.next()
+		return &StrLit{Value: t.Text, XPos: t.Pos}
+	case TRUE:
+		p.next()
+		return &BoolLit{Value: true, XPos: t.Pos}
+	case FALSE:
+		p.next()
+		return &BoolLit{Value: false, XPos: t.Pos}
+	case IDENT:
+		p.next()
+		if p.accept(LPAREN) {
+			r := &Ref{Name: t.Text, XPos: t.Pos}
+			for !p.accept(RPAREN) {
+				r.Args = append(r.Args, p.parseExpr())
+				if !p.accept(COMMA) {
+					p.expect(RPAREN)
+					break
+				}
+			}
+			return r
+		}
+		return &Ident{Name: t.Text, XPos: t.Pos}
+	case LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RPAREN)
+		return x
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &IntLit{Value: 0, XPos: t.Pos}
+}

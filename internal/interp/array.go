@@ -1,0 +1,245 @@
+package interp
+
+import "fmt"
+
+// storage is the backing memory of a Fortran array (column-major).
+type storage struct {
+	kind  Kind
+	ints  []int64
+	reals []float64
+}
+
+func newStorage(kind Kind, n int64) *storage {
+	s := &storage{kind: kind}
+	switch kind {
+	case KInt, KBool:
+		s.ints = make([]int64, n)
+	default:
+		s.reals = make([]float64, n)
+	}
+	return s
+}
+
+func (s *storage) len() int64 {
+	if s.ints != nil {
+		return int64(len(s.ints))
+	}
+	return int64(len(s.reals))
+}
+
+func (s *storage) get(i int64) Value {
+	if s.kind == KReal {
+		return RealVal(s.reals[i])
+	}
+	if s.kind == KBool {
+		return BoolVal(s.ints[i] != 0)
+	}
+	return IntVal(s.ints[i])
+}
+
+func (s *storage) set(i int64, v Value) {
+	switch s.kind {
+	case KReal:
+		s.reals[i] = v.AsReal()
+	case KBool:
+		if v.B {
+			s.ints[i] = 1
+		} else {
+			s.ints[i] = 0
+		}
+	default:
+		s.ints[i] = v.AsInt()
+	}
+}
+
+// DimBound is one dimension's inclusive bounds; Assumed marks a '*' upper
+// bound (dummy arrays sized by the caller).
+type DimBound struct {
+	Lo, Hi  int64
+	Assumed bool
+}
+
+// Extent returns the dimension's element count.
+func (d DimBound) Extent() int64 { return d.Hi - d.Lo + 1 }
+
+// Array is a (possibly aliased) view of column-major storage: dummy
+// arguments share the caller's backing with an element offset (Fortran
+// sequence association).
+type Array struct {
+	Name    string
+	Store   *storage
+	Offset  int64 // linear element offset into Store
+	Dims    []DimBound
+	strides []int64
+}
+
+// NewArray allocates a fresh array.
+func NewArray(name string, kind Kind, dims []DimBound) (*Array, error) {
+	n := int64(1)
+	for _, d := range dims {
+		if d.Assumed {
+			return nil, fmt.Errorf("array %s: assumed size in allocation", name)
+		}
+		if d.Extent() < 0 {
+			return nil, fmt.Errorf("array %s: negative extent %d:%d", name, d.Lo, d.Hi)
+		}
+		n *= d.Extent()
+	}
+	a := &Array{Name: name, Store: newStorage(kind, n), Dims: dims}
+	a.computeStrides()
+	return a, nil
+}
+
+// View builds a dummy-argument view of backing storage starting at offset,
+// with the dummy's declared dims; an assumed-size final dimension absorbs
+// the remaining elements.
+func View(name string, backing *Array, offset int64, dims []DimBound) (*Array, error) {
+	abs := backing.Offset + offset
+	if abs < 0 || abs > backing.Store.len() {
+		return nil, fmt.Errorf("array %s: view offset %d out of range", name, abs)
+	}
+	a := &Array{Name: name, Store: backing.Store, Offset: abs, Dims: dims}
+	// Resolve an assumed-size last dimension against the remaining length.
+	if n := len(dims); n > 0 && dims[n-1].Assumed {
+		inner := int64(1)
+		for _, d := range dims[:n-1] {
+			inner *= d.Extent()
+		}
+		remain := backing.Store.len() - abs
+		if inner <= 0 {
+			inner = 1
+		}
+		a.Dims = append([]DimBound(nil), dims...)
+		a.Dims[n-1] = DimBound{Lo: dims[n-1].Lo, Hi: dims[n-1].Lo + remain/inner - 1}
+	}
+	a.computeStrides()
+	return a, nil
+}
+
+func (a *Array) computeStrides() {
+	a.strides = make([]int64, len(a.Dims))
+	s := int64(1)
+	for d := 0; d < len(a.Dims); d++ {
+		a.strides[d] = s
+		s *= a.Dims[d].Extent()
+	}
+}
+
+// Size returns the number of elements the view covers.
+func (a *Array) Size() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d.Extent()
+	}
+	return n
+}
+
+// Linear converts subscripts to a 0-based linear offset within the view.
+func (a *Array) Linear(subs []int64) (int64, error) {
+	if len(subs) != len(a.Dims) {
+		// Sequence-association escape: a single subscript into a
+		// multi-dimensional array addresses it linearly (F77 idiom used by
+		// MPI buffer arguments).
+		if len(subs) == 1 {
+			i := subs[0] - a.Dims[0].Lo
+			if i < 0 || a.Offset+i >= a.Store.len() {
+				return 0, fmt.Errorf("array %s: linear subscript %d out of range", a.Name, subs[0])
+			}
+			return i, nil
+		}
+		return 0, fmt.Errorf("array %s: rank %d reference to rank-%d array", a.Name, len(subs), len(a.Dims))
+	}
+	var off int64
+	for d, s := range subs {
+		if s < a.Dims[d].Lo || s > a.Dims[d].Hi {
+			return 0, fmt.Errorf("array %s: subscript %d of dimension %d out of bounds %d:%d",
+				a.Name, s, d+1, a.Dims[d].Lo, a.Dims[d].Hi)
+		}
+		off += (s - a.Dims[d].Lo) * a.strides[d]
+	}
+	return off, nil
+}
+
+// Get reads the element at the given subscripts.
+func (a *Array) Get(subs []int64) (Value, error) {
+	off, err := a.Linear(subs)
+	if err != nil {
+		return Value{}, err
+	}
+	return a.Store.get(a.Offset + off), nil
+}
+
+// Set writes the element at the given subscripts.
+func (a *Array) Set(subs []int64, v Value) error {
+	off, err := a.Linear(subs)
+	if err != nil {
+		return err
+	}
+	a.Store.set(a.Offset+off, v)
+	return nil
+}
+
+// CopyOut snapshots count elements starting at linear offset off (0-based
+// within the view) — the payload of a send.
+func (a *Array) CopyOut(off, count int64) (interface{}, error) {
+	start := a.Offset + off
+	if start < 0 || start+count > a.Store.len() {
+		return nil, fmt.Errorf("array %s: send window [%d,%d) out of range", a.Name, off, off+count)
+	}
+	if a.Store.kind == KReal {
+		out := make([]float64, count)
+		copy(out, a.Store.reals[start:start+count])
+		return out, nil
+	}
+	out := make([]int64, count)
+	copy(out, a.Store.ints[start:start+count])
+	return out, nil
+}
+
+// CopyIn stores a received payload at linear offset off within the view.
+func (a *Array) CopyIn(off int64, payload interface{}) error {
+	start := a.Offset + off
+	switch p := payload.(type) {
+	case []int64:
+		if start+int64(len(p)) > a.Store.len() {
+			return fmt.Errorf("array %s: recv window out of range", a.Name)
+		}
+		if a.Store.kind == KReal {
+			for i, v := range p {
+				a.Store.reals[start+int64(i)] = float64(v)
+			}
+			return nil
+		}
+		copy(a.Store.ints[start:], p)
+	case []float64:
+		if start+int64(len(p)) > a.Store.len() {
+			return fmt.Errorf("array %s: recv window out of range", a.Name)
+		}
+		if a.Store.kind == KReal {
+			copy(a.Store.reals[start:], p)
+			return nil
+		}
+		for i, v := range p {
+			a.Store.ints[start+int64(i)] = int64(v)
+		}
+	case nil:
+		return fmt.Errorf("array %s: nil payload", a.Name)
+	default:
+		return fmt.Errorf("array %s: unsupported payload %T", a.Name, payload)
+	}
+	return nil
+}
+
+// Snapshot copies the whole view's contents as []Value-free raw data for
+// equivalence checks.
+func (a *Array) Snapshot() interface{} {
+	n := a.Size()
+	if a.Store.kind == KReal {
+		out := make([]float64, n)
+		copy(out, a.Store.reals[a.Offset:a.Offset+n])
+		return out
+	}
+	out := make([]int64, n)
+	copy(out, a.Store.ints[a.Offset:a.Offset+n])
+	return out
+}

@@ -1,0 +1,283 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/ftn"
+)
+
+// evalExpr evaluates an expression in fr.
+func (m *machine) evalExpr(fr *frame, e ftn.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *ftn.IntLit:
+		return IntVal(e.Value), nil
+	case *ftn.RealLit:
+		return RealVal(e.Value), nil
+	case *ftn.StrLit:
+		return StrVal(e.Value), nil
+	case *ftn.BoolLit:
+		return BoolVal(e.Value), nil
+	case *ftn.Ident:
+		return m.evalIdent(fr, e)
+	case *ftn.Unary:
+		x, err := m.evalExpr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		m.charge(m.costs.Op)
+		switch e.Op {
+		case "-":
+			if x.Kind == KInt {
+				return IntVal(-x.I), nil
+			}
+			return RealVal(-x.AsReal()), nil
+		case "+":
+			return x, nil
+		case ".not.":
+			if x.Kind != KBool {
+				return Value{}, rte(e.Pos(), ".not. of non-logical")
+			}
+			return BoolVal(!x.B), nil
+		}
+		return Value{}, rte(e.Pos(), "bad unary operator %q", e.Op)
+	case *ftn.Binary:
+		return m.evalBinary(fr, e)
+	case *ftn.Ref:
+		return m.evalRef(fr, e)
+	}
+	return Value{}, rte(e.Pos(), "unsupported expression %T", e)
+}
+
+func (m *machine) evalIdent(fr *frame, e *ftn.Ident) (Value, error) {
+	if v, ok := fr.consts[e.Name]; ok {
+		return v, nil
+	}
+	if v, ok := fr.scal[e.Name]; ok {
+		return *v, nil
+	}
+	if v, ok := mpiConsts[e.Name]; ok {
+		return IntVal(v), nil
+	}
+	if a, ok := fr.arr[e.Name]; ok {
+		// Bare array name in an expression context is not a value; callers
+		// that accept whole arrays (MPI buffers, procedure args) intercept
+		// before evaluating. Reaching here is an error.
+		_ = a
+		return Value{}, rte(e.Pos(), "whole-array reference %s in scalar context", e.Name)
+	}
+	if fr.implicitNone {
+		return Value{}, rte(e.Pos(), "undeclared name %s", e.Name)
+	}
+	// Implicit typing: reading an undefined variable yields its zero.
+	p, err := m.lookupScalar(fr, e.Name, e.Pos())
+	if err != nil {
+		return Value{}, err
+	}
+	return *p, nil
+}
+
+func (m *machine) evalBinary(fr *frame, e *ftn.Binary) (Value, error) {
+	// Short-circuit logical operators (Fortran does not guarantee
+	// evaluation order, so short-circuiting is a valid strategy).
+	if e.Op == ".and." || e.Op == ".or." {
+		x, err := m.evalExpr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Kind != KBool {
+			return Value{}, rte(e.Pos(), "%s of non-logical", e.Op)
+		}
+		m.charge(m.costs.Op)
+		if e.Op == ".and." && !x.B {
+			return BoolVal(false), nil
+		}
+		if e.Op == ".or." && x.B {
+			return BoolVal(true), nil
+		}
+		y, err := m.evalExpr(fr, e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		if y.Kind != KBool {
+			return Value{}, rte(e.Pos(), "%s of non-logical", e.Op)
+		}
+		return y, nil
+	}
+	x, err := m.evalExpr(fr, e.X)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := m.evalExpr(fr, e.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	m.charge(m.costs.Op)
+	switch e.Op {
+	case "+", "-", "*", "/", "**":
+		v, err2 := numericBinop(e.Op, x, y)
+		if err2 != nil {
+			return Value{}, rte(e.Pos(), "%v", err2)
+		}
+		return v, nil
+	default:
+		v, err2 := compare(e.Op, x, y)
+		if err2 != nil {
+			return Value{}, rte(e.Pos(), "%v", err2)
+		}
+		return v, nil
+	}
+}
+
+// evalRef evaluates name(args): array element load or intrinsic call.
+func (m *machine) evalRef(fr *frame, e *ftn.Ref) (Value, error) {
+	if a, ok := fr.arr[e.Name]; ok {
+		subs, err := m.evalSubs(fr, e.Args)
+		if err != nil {
+			return Value{}, err
+		}
+		m.charge(m.costs.Load)
+		v, err := a.Get(subs)
+		if err != nil {
+			return Value{}, rte(e.Pos(), "%v", err)
+		}
+		return v, nil
+	}
+	return m.evalIntrinsic(fr, e)
+}
+
+// evalIntrinsic dispatches the supported intrinsic functions.
+func (m *machine) evalIntrinsic(fr *frame, e *ftn.Ref) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := m.evalExpr(fr, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	m.charge(m.costs.Op)
+	bad := func() (Value, error) {
+		return Value{}, rte(e.Pos(), "bad arguments to intrinsic %s", e.Name)
+	}
+	switch e.Name {
+	case "mod":
+		if len(args) != 2 {
+			return bad()
+		}
+		if args[0].Kind == KInt && args[1].Kind == KInt {
+			if args[1].I == 0 {
+				return Value{}, rte(e.Pos(), "mod by zero")
+			}
+			return IntVal(args[0].I % args[1].I), nil
+		}
+		return RealVal(math.Mod(args[0].AsReal(), args[1].AsReal())), nil
+	case "min":
+		if len(args) < 1 {
+			return bad()
+		}
+		out := args[0]
+		for _, a := range args[1:] {
+			if a.Kind == KInt && out.Kind == KInt {
+				if a.I < out.I {
+					out = a
+				}
+			} else if a.AsReal() < out.AsReal() {
+				out = a
+			}
+		}
+		return out, nil
+	case "max":
+		if len(args) < 1 {
+			return bad()
+		}
+		out := args[0]
+		for _, a := range args[1:] {
+			if a.Kind == KInt && out.Kind == KInt {
+				if a.I > out.I {
+					out = a
+				}
+			} else if a.AsReal() > out.AsReal() {
+				out = a
+			}
+		}
+		return out, nil
+	case "abs":
+		if len(args) != 1 {
+			return bad()
+		}
+		if args[0].Kind == KInt {
+			if args[0].I < 0 {
+				return IntVal(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		return RealVal(math.Abs(args[0].AsReal())), nil
+	case "int":
+		if len(args) != 1 {
+			return bad()
+		}
+		return IntVal(args[0].AsInt()), nil
+	case "real", "dble", "float":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(args[0].AsReal()), nil
+	case "nint":
+		if len(args) != 1 {
+			return bad()
+		}
+		return IntVal(int64(math.Round(args[0].AsReal()))), nil
+	case "sqrt":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(math.Sqrt(args[0].AsReal())), nil
+	case "exp":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(math.Exp(args[0].AsReal())), nil
+	case "log":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(math.Log(args[0].AsReal())), nil
+	case "sin":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(math.Sin(args[0].AsReal())), nil
+	case "cos":
+		if len(args) != 1 {
+			return bad()
+		}
+		return RealVal(math.Cos(args[0].AsReal())), nil
+	case "iand":
+		if len(args) != 2 {
+			return bad()
+		}
+		return IntVal(args[0].AsInt() & args[1].AsInt()), nil
+	case "ior":
+		if len(args) != 2 {
+			return bad()
+		}
+		return IntVal(args[0].AsInt() | args[1].AsInt()), nil
+	case "ieor":
+		if len(args) != 2 {
+			return bad()
+		}
+		return IntVal(args[0].AsInt() ^ args[1].AsInt()), nil
+	case "ishft":
+		if len(args) != 2 {
+			return bad()
+		}
+		sh := args[1].AsInt()
+		if sh >= 0 {
+			return IntVal(args[0].AsInt() << uint(sh)), nil
+		}
+		return IntVal(args[0].AsInt() >> uint(-sh)), nil
+	case "mpi_wtime":
+		return RealVal(m.rank.Now().Seconds()), nil
+	}
+	return Value{}, rte(e.Pos(), "unknown array or intrinsic %q", e.Name)
+}

@@ -1,0 +1,437 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ftn"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+)
+
+// CostModel maps interpreted operations to virtual CPU time. The defaults
+// approximate a mid-2000s cluster node (a few hundred MFLOP/s with loop
+// overheads), which is the right scale for the paper's era.
+type CostModel struct {
+	Op       netsim.Time // per arithmetic/relational/logical operation
+	Assign   netsim.Time // per scalar assignment
+	Store    netsim.Time // per array element store
+	Load     netsim.Time // per array element load
+	LoopIter netsim.Time // per loop iteration overhead
+	CallOver netsim.Time // per procedure call overhead
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Op:       2 * netsim.Nanosecond,
+		Assign:   1 * netsim.Nanosecond,
+		Store:    4 * netsim.Nanosecond,
+		Load:     2 * netsim.Nanosecond,
+		LoopIter: 2 * netsim.Nanosecond,
+		CallOver: 20 * netsim.Nanosecond,
+	}
+}
+
+// Control-flow sentinels.
+var (
+	errReturn = errors.New("return")
+	errStop   = errors.New("stop")
+	errExit   = errors.New("exit")
+	errCycle  = errors.New("cycle")
+)
+
+// runtimeError wraps an error with a source position.
+type runtimeError struct {
+	Pos ftn.Pos
+	Err error
+}
+
+// Error implements the error interface.
+func (e *runtimeError) Error() string { return fmt.Sprintf("%s: %v", e.Pos, e.Err) }
+
+func rte(pos ftn.Pos, format string, args ...interface{}) error {
+	return &runtimeError{Pos: pos, Err: fmt.Errorf(format, args...)}
+}
+
+// frame is one procedure activation.
+type frame struct {
+	unit         *ftn.Unit
+	scal         map[string]*Value
+	arr          map[string]*Array
+	consts       map[string]Value
+	implicitNone bool
+}
+
+// machine executes one rank's program.
+type machine struct {
+	prog  *Program
+	rank  *mpi.Rank
+	costs CostModel
+	out   []string
+	reqs  []*mpi.Request
+	main  *frame
+	err   error
+}
+
+func (m *machine) charge(t netsim.Time) { m.rank.Compute(t) }
+
+// predefined MPI named constants.
+var mpiConsts = map[string]int64{
+	"mpi_comm_world":       91,
+	"mpi_integer":          1,
+	"mpi_real":             2,
+	"mpi_double_precision": 3,
+	"mpi_statuses_ignore":  -909,
+	"mpi_status_ignore":    -909,
+	"mpi_status_size":      4,
+	"mpi_success":          0,
+}
+
+// dtypeBytes maps an MPI datatype constant to its Fortran element size.
+func dtypeBytes(v int64) (int64, bool) {
+	switch v {
+	case 1, 2:
+		return 4, true
+	case 3:
+		return 8, true
+	}
+	return 0, false
+}
+
+// newFrame builds and initializes an activation for unit. For subroutines,
+// bindScal/bindArr carry the dummy-argument bindings established by the
+// caller (scalar aliases and array views).
+func (m *machine) newFrame(unit *ftn.Unit, bindScal map[string]*Value, bindArr map[string]*Array) (*frame, error) {
+	fr := &frame{
+		unit:         unit,
+		scal:         map[string]*Value{},
+		arr:          map[string]*Array{},
+		consts:       map[string]Value{},
+		implicitNone: unit.ImplicitNone,
+	}
+	for n, v := range bindScal {
+		fr.scal[n] = v
+	}
+	// Pass 1: named constants (may reference each other in order).
+	for _, d := range unit.Decls {
+		if !d.Parameter {
+			continue
+		}
+		for _, e := range d.Entities {
+			if e.Init == nil {
+				continue
+			}
+			v, err := m.evalExpr(fr, e.Init)
+			if err != nil {
+				return nil, err
+			}
+			fr.consts[e.Name] = coerceDecl(d.Type.Base, v)
+		}
+	}
+	// Pass 2: variables and arrays.
+	for _, d := range unit.Decls {
+		if d.Parameter {
+			continue
+		}
+		kind := kindOf(d.Type.Base)
+		for _, e := range d.Entities {
+			dims := d.DimsOf(e)
+			if len(dims) == 0 {
+				// Scalar: keep an existing binding (dummy), else allocate.
+				if _, ok := fr.scal[e.Name]; ok {
+					continue
+				}
+				v := zeroOf(kind)
+				if e.Init != nil {
+					iv, err := m.evalExpr(fr, e.Init)
+					if err != nil {
+						return nil, err
+					}
+					v = coerceDecl(d.Type.Base, iv)
+				}
+				fr.scal[e.Name] = &v
+				continue
+			}
+			// Array: evaluate bounds in this frame.
+			bounds, err := m.evalDims(fr, dims)
+			if err != nil {
+				return nil, err
+			}
+			if backing, ok := bindArr[e.Name]; ok {
+				view, err := View(e.Name, backing, 0, bounds)
+				if err != nil {
+					return nil, rte(d.Pos(), "%v", err)
+				}
+				fr.arr[e.Name] = view
+				continue
+			}
+			a, err := NewArray(e.Name, kind, bounds)
+			if err != nil {
+				return nil, rte(d.Pos(), "%v", err)
+			}
+			fr.arr[e.Name] = a
+		}
+	}
+	// Dummy arrays without a matching declaration are used as declared by
+	// the caller (rare; treat the caller's view as-is).
+	for n, a := range bindArr {
+		if _, ok := fr.arr[n]; !ok {
+			fr.arr[n] = a
+		}
+	}
+	return fr, nil
+}
+
+func kindOf(b ftn.BaseType) Kind {
+	switch b {
+	case ftn.TReal, ftn.TDouble:
+		return KReal
+	case ftn.TLogical:
+		return KBool
+	case ftn.TCharacter:
+		return KStr
+	}
+	return KInt
+}
+
+func zeroOf(k Kind) Value {
+	switch k {
+	case KReal:
+		return RealVal(0)
+	case KBool:
+		return BoolVal(false)
+	case KStr:
+		return StrVal("")
+	}
+	return IntVal(0)
+}
+
+func coerceDecl(b ftn.BaseType, v Value) Value {
+	switch kindOf(b) {
+	case KReal:
+		return RealVal(v.AsReal())
+	case KInt:
+		return IntVal(v.AsInt())
+	}
+	return v
+}
+
+func (m *machine) evalDims(fr *frame, dims []ftn.Dim) ([]DimBound, error) {
+	out := make([]DimBound, len(dims))
+	for i, d := range dims {
+		lo := int64(1)
+		if d.Lo != nil {
+			v, err := m.evalExpr(fr, d.Lo)
+			if err != nil {
+				return nil, err
+			}
+			lo = v.AsInt()
+		}
+		if d.Hi == nil {
+			out[i] = DimBound{Lo: lo, Assumed: true}
+			continue
+		}
+		hi, err := m.evalExpr(fr, d.Hi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = DimBound{Lo: lo, Hi: hi.AsInt()}
+	}
+	return out, nil
+}
+
+// lookupScalar finds or (under implicit typing) creates a scalar.
+func (m *machine) lookupScalar(fr *frame, name string, pos ftn.Pos) (*Value, error) {
+	if v, ok := fr.scal[name]; ok {
+		return v, nil
+	}
+	if _, ok := fr.consts[name]; ok {
+		return nil, rte(pos, "cannot assign to named constant %s", name)
+	}
+	if fr.implicitNone {
+		return nil, rte(pos, "undeclared variable %s under implicit none", name)
+	}
+	var v Value
+	if name[0] >= 'i' && name[0] <= 'n' {
+		v = IntVal(0)
+	} else {
+		v = RealVal(0)
+	}
+	fr.scal[name] = &v
+	return &v, nil
+}
+
+// execStmts runs a statement list.
+func (m *machine) execStmts(fr *frame, stmts []ftn.Stmt) error {
+	for _, s := range stmts {
+		if err := m.execStmt(fr, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *machine) execStmt(fr *frame, s ftn.Stmt) error {
+	switch s := s.(type) {
+	case *ftn.CommentStmt, *ftn.ContinueStmt:
+		return nil
+	case *ftn.AssignStmt:
+		return m.execAssign(fr, s)
+	case *ftn.DoStmt:
+		return m.execDo(fr, s)
+	case *ftn.IfStmt:
+		cond, err := m.evalExpr(fr, s.Cond)
+		if err != nil {
+			return err
+		}
+		m.charge(m.costs.Op)
+		if cond.Kind != KBool {
+			return rte(s.Pos(), "IF condition is not logical")
+		}
+		if cond.B {
+			return m.execStmts(fr, s.Then)
+		}
+		return m.execStmts(fr, s.Else)
+	case *ftn.CallStmt:
+		return m.execCall(fr, s)
+	case *ftn.PrintStmt:
+		vals := make([]Value, len(s.Args))
+		for i, a := range s.Args {
+			v, err := m.evalExpr(fr, a)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		m.out = append(m.out, formatPrintLine(vals))
+		return nil
+	case *ftn.ReturnStmt:
+		return errReturn
+	case *ftn.StopStmt:
+		return errStop
+	case *ftn.ExitStmt:
+		return errExit
+	case *ftn.CycleStmt:
+		return errCycle
+	}
+	return rte(s.Pos(), "unsupported statement %T", s)
+}
+
+func (m *machine) execAssign(fr *frame, s *ftn.AssignStmt) error {
+	v, err := m.evalExpr(fr, s.RHS)
+	if err != nil {
+		return err
+	}
+	return m.store(fr, s.LHS, v)
+}
+
+// store writes v to an assignable designator.
+func (m *machine) store(fr *frame, lhs ftn.Expr, v Value) error {
+	switch lhs := lhs.(type) {
+	case *ftn.Ident:
+		p, err := m.lookupScalar(fr, lhs.Name, lhs.Pos())
+		if err != nil {
+			return err
+		}
+		m.charge(m.costs.Assign)
+		*p = coerceStore(*p, v)
+		return nil
+	case *ftn.Ref:
+		a, ok := fr.arr[lhs.Name]
+		if !ok {
+			return rte(lhs.Pos(), "assignment to %s, which is not an array", lhs.Name)
+		}
+		subs, err := m.evalSubs(fr, lhs.Args)
+		if err != nil {
+			return err
+		}
+		m.charge(m.costs.Store)
+		if err := a.Set(subs, v); err != nil {
+			return rte(lhs.Pos(), "%v", err)
+		}
+		return nil
+	}
+	return rte(lhs.Pos(), "bad assignment target %T", lhs)
+}
+
+// coerceStore converts v to the kind of the existing slot value.
+func coerceStore(old, v Value) Value {
+	switch old.Kind {
+	case KInt:
+		return IntVal(v.AsInt())
+	case KReal:
+		return RealVal(v.AsReal())
+	case KBool:
+		if v.Kind == KBool {
+			return v
+		}
+		return BoolVal(v.AsInt() != 0)
+	case KStr:
+		if v.Kind == KStr {
+			return v
+		}
+	}
+	return v
+}
+
+func (m *machine) evalSubs(fr *frame, args []ftn.Expr) ([]int64, error) {
+	subs := make([]int64, len(args))
+	for i, a := range args {
+		v, err := m.evalExpr(fr, a)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = v.AsInt()
+	}
+	return subs, nil
+}
+
+func (m *machine) execDo(fr *frame, s *ftn.DoStmt) error {
+	loVal, err := m.evalExpr(fr, s.Lo)
+	if err != nil {
+		return err
+	}
+	hiVal, err := m.evalExpr(fr, s.Hi)
+	if err != nil {
+		return err
+	}
+	step := int64(1)
+	if s.Step != nil {
+		sv, err := m.evalExpr(fr, s.Step)
+		if err != nil {
+			return err
+		}
+		step = sv.AsInt()
+		if step == 0 {
+			return rte(s.Pos(), "DO step is zero")
+		}
+	}
+	lo, hi := loVal.AsInt(), hiVal.AsInt()
+	// Fortran trip count, computed once.
+	trips := (hi - lo + step) / step
+	if trips < 0 {
+		trips = 0
+	}
+	vp, err := m.lookupScalar(fr, s.Var, s.Pos())
+	if err != nil {
+		return err
+	}
+	v := lo
+	for t := int64(0); t < trips; t++ {
+		*vp = IntVal(v)
+		m.charge(m.costs.LoopIter)
+		err := m.execStmts(fr, s.Body)
+		switch err {
+		case nil, errCycle:
+		case errExit:
+			// EXIT leaves the DO variable at its current iteration value.
+			return nil
+		default:
+			return err
+		}
+		v += step
+	}
+	*vp = IntVal(v)
+	return nil
+}

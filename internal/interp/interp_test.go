@@ -1,0 +1,443 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func run(t *testing.T, src string, np int) *Result {
+	t.Helper()
+	p, err := Load(src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := p.Run(np, netsim.MPICHGM())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestSerialBasics(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  enddo
+  print *, 'sum =', s
+end program p
+`
+	res := run(t, src, 1)
+	if len(res.Output[0]) != 1 || res.Output[0][0] != "sum = 55" {
+		t.Errorf("output = %v", res.Output[0])
+	}
+}
+
+func TestArraysAndBounds(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer a(0:4, 1:3)
+  integer i, j, s
+  do j = 1, 3
+    do i = 0, 4
+      a(i, j) = i + 10*j
+    enddo
+  enddo
+  s = a(0,1) + a(4,3)
+  print *, s
+end program p
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "44" {
+		t.Errorf("output = %v", res.Output[0])
+	}
+	arr := res.Arrays[0]["a"].([]int64)
+	if len(arr) != 15 {
+		t.Fatalf("array size = %d", len(arr))
+	}
+	// Column-major: a(0,1) first, a(4,3) last.
+	if arr[0] != 10 || arr[14] != 34 {
+		t.Errorf("array = %v", arr)
+	}
+}
+
+func TestOutOfBoundsCaught(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer a(1:5), i
+  i = 9
+  a(i) = 1
+end program p
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(1, netsim.MPICHGM()); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v, want out of bounds", err)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer i, hits
+  hits = 0
+  do i = 1, 100
+    if (i == 3) cycle
+    if (i > 5) exit
+    hits = hits + 1
+  enddo
+  print *, hits, i
+end program p
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "4 6" {
+		t.Errorf("output = %v", res.Output[0])
+	}
+}
+
+func TestDoStepAndTripSemantics(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer i, n
+  n = 0
+  do i = 10, 1, -2
+    n = n + 1
+  enddo
+  print *, n, i
+  do i = 5, 4
+    n = n + 100
+  enddo
+  print *, n, i
+end program p
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "5 0" {
+		t.Errorf("negative step: %v", res.Output[0])
+	}
+	// Zero-trip loop leaves i at lo (lo + 0*step).
+	if res.Output[0][1] != "5 5" {
+		t.Errorf("zero trip: %v", res.Output[0])
+	}
+}
+
+func TestRealArithmeticAndIntrinsics(t *testing.T) {
+	src := `
+program p
+  implicit none
+  real x
+  integer i
+  x = sqrt(16.0) + abs(-2.0)
+  i = mod(17, 5) + max(3, 7) + min(2, 8)
+  print *, x
+  print *, i
+end program p
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "6" {
+		t.Errorf("x = %v", res.Output[0][0])
+	}
+	if res.Output[0][1] != "11" {
+		t.Errorf("i = %v", res.Output[0][1])
+	}
+}
+
+func TestSubroutineReferenceSemantics(t *testing.T) {
+	src := `
+program p
+  implicit none
+  integer x, a(1:5)
+  x = 1
+  call bump(x)
+  print *, x
+  call fill(a, 5)
+  print *, a(1), a(5)
+end program p
+
+subroutine bump(v)
+  integer v
+  v = v + 41
+end subroutine bump
+
+subroutine fill(arr, n)
+  integer n
+  integer arr(n)
+  integer i
+  do i = 1, n
+    arr(i) = i*i
+  enddo
+end subroutine fill
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "42" {
+		t.Errorf("scalar byref: %v", res.Output[0])
+	}
+	if res.Output[0][1] != "1 25" {
+		t.Errorf("array byref: %v", res.Output[0])
+	}
+}
+
+func TestSequenceAssociation(t *testing.T) {
+	// Passing a(3) gives the callee a view from element 3 on; a 2-D array
+	// element works the same way (the Compuniformer's expanded-At calls
+	// rely on this).
+	src := `
+program p
+  implicit none
+  integer a(1:10), b(1:4, 1:3)
+  integer i
+  do i = 1, 10
+    a(i) = 0
+  enddo
+  call put3(a(4))
+  print *, a(4), a(5), a(6)
+  call put3(b(1, 2))
+  print *, b(1,2), b(2,2), b(3,2), b(1,1)
+end program p
+
+subroutine put3(v)
+  integer v(*)
+  v(1) = 7
+  v(2) = 8
+  v(3) = 9
+end subroutine put3
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "7 8 9" {
+		t.Errorf("1-D seq assoc: %v", res.Output[0])
+	}
+	if res.Output[0][1] != "7 8 9 0" {
+		t.Errorf("2-D seq assoc: %v", res.Output[0])
+	}
+}
+
+func TestImplicitTyping(t *testing.T) {
+	src := `
+program p
+  i = 3
+  x = 1.5
+  print *, i, x
+end program p
+`
+	res := run(t, src, 1)
+	if res.Output[0][0] != "3 1.5" {
+		t.Errorf("implicit typing: %v", res.Output[0])
+	}
+}
+
+func TestMPIRankSizeBarrier(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer me, np, ierr
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  call mpi_comm_size(mpi_comm_world, np, ierr)
+  call mpi_barrier(mpi_comm_world, ierr)
+  print *, 'rank', me, 'of', np
+  call mpi_finalize(ierr)
+end program p
+`
+	res := run(t, src, 4)
+	for r := 0; r < 4; r++ {
+		want := "rank " + string(rune('0'+r)) + " of 4"
+		if res.Output[r][0] != want {
+			t.Errorf("rank %d: %q want %q", r, res.Output[r][0], want)
+		}
+	}
+}
+
+func TestMPISendRecvProgram(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer me, np, ierr
+  integer buf(1:4)
+  integer i
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  call mpi_comm_size(mpi_comm_world, np, ierr)
+  if (me == 0) then
+    do i = 1, 4
+      buf(i) = i*11
+    enddo
+    call mpi_send(buf, 4, mpi_integer, 1, 5, mpi_comm_world, ierr)
+  else
+    call mpi_recv(buf, 4, mpi_integer, 0, 5, mpi_comm_world, mpi_status_ignore, ierr)
+    print *, buf(1), buf(4)
+  endif
+  call mpi_finalize(ierr)
+end program p
+`
+	res := run(t, src, 2)
+	if res.Output[1][0] != "11 44" {
+		t.Errorf("recv output: %v", res.Output[1])
+	}
+}
+
+func TestMPIIsendIrecvWait(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer me, np, ierr, req1, req2
+  integer sb(1:8), rb(1:8)
+  integer i, peer
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  call mpi_comm_size(mpi_comm_world, np, ierr)
+  do i = 1, 8
+    sb(i) = me*100 + i
+  enddo
+  peer = 1 - me
+  call mpi_irecv(rb, 8, mpi_integer, peer, 0, mpi_comm_world, req1, ierr)
+  call mpi_isend(sb, 8, mpi_integer, peer, 0, mpi_comm_world, req2, ierr)
+  call mpi_wait(req1, mpi_status_ignore, ierr)
+  call mpi_wait(req2, mpi_status_ignore, ierr)
+  print *, rb(1), rb(8)
+  call mpi_finalize(ierr)
+end program p
+`
+	res := run(t, src, 2)
+	// Rank 0's peer is 1 (values 1*100+i); rank 1's peer is 0 (values i).
+	if res.Output[0][0] != "101 108" || res.Output[1][0] != "1 8" {
+		t.Errorf("outputs: %v / %v", res.Output[0], res.Output[1])
+	}
+}
+
+func TestMPIAlltoallProgram(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: np = 4
+  integer me, nprocs, ierr
+  integer as(1:8), ar(1:8)
+  integer i
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  call mpi_comm_size(mpi_comm_world, nprocs, ierr)
+  do i = 1, 8
+    as(i) = me*1000 + i
+  enddo
+  call mpi_alltoall(as, 2, mpi_integer, ar, 2, mpi_integer, mpi_comm_world, ierr)
+  print *, ar(1), ar(2), ar(7), ar(8)
+  call mpi_finalize(ierr)
+end program p
+`
+	res := run(t, src, 4)
+	// Rank r receives from src s elements as(2s.me+1..): ar(2s+1) = s*1000 + 2r+1.
+	for r := 0; r < 4; r++ {
+		want := []int64{int64(0*1000 + 2*r + 1), int64(0*1000 + 2*r + 2), int64(3*1000 + 2*r + 1), int64(3*1000 + 2*r + 2)}
+		wantStr := ""
+		for i, w := range want {
+			if i > 0 {
+				wantStr += " "
+			}
+			wantStr += itoa64(w)
+		}
+		if res.Output[r][0] != wantStr {
+			t.Errorf("rank %d: %q want %q", r, res.Output[r][0], wantStr)
+		}
+	}
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestMPIWtime(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  real t0
+  integer i, s, ierr
+  call mpi_init(ierr)
+  t0 = mpi_wtime()
+  s = 0
+  do i = 1, 1000
+    s = s + i
+  enddo
+  if (mpi_wtime() >= t0) then
+    print *, 'time advanced'
+  endif
+  call mpi_finalize(ierr)
+end program p
+`
+	res := run(t, src, 1)
+	if len(res.Output[0]) != 1 {
+		t.Errorf("wtime output: %v", res.Output[0])
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer me, np, ierr
+  integer as(1:16), ar(1:16)
+  integer i, iy
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do iy = 1, 3
+    do i = 1, 16
+      as(i) = me + i*iy
+    enddo
+    call mpi_alltoall(as, 4, mpi_integer, ar, 4, mpi_integer, mpi_comm_world, ierr)
+  enddo
+  print *, ar(1), ar(16)
+  call mpi_finalize(ierr)
+end program p
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Run(4, netsim.MPICHTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Load(src)
+	r2, err := p2.Run(4, netsim.MPICHTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed() != r2.Elapsed() {
+		t.Errorf("nondeterministic elapsed: %v vs %v", r1.Elapsed(), r2.Elapsed())
+	}
+	if same, why := SameOutput(r1, r2); !same {
+		t.Errorf("nondeterministic output: %s", why)
+	}
+}

@@ -1,0 +1,208 @@
+// Package interp executes programs in the ftn subset on simulated MPI
+// ranks: every rank runs the same program against the netsim virtual
+// cluster, computation advances virtual time through a configurable cost
+// model, and the MPI_* calls bind to the mpi runtime. It is the evaluation
+// harness of the reproduction: original and transformed programs run under
+// identical conditions and their outputs and final array states can be
+// compared exactly.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind is a runtime value kind.
+type Kind int
+
+// Value kinds.
+const (
+	KInt Kind = iota
+	KReal
+	KBool
+	KStr
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "integer"
+	case KReal:
+		return "real"
+	case KBool:
+		return "logical"
+	case KStr:
+		return "character"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a compact tagged scalar.
+type Value struct {
+	Kind Kind
+	I    int64
+	R    float64
+	B    bool
+	S    string
+}
+
+// IntVal builds an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// RealVal builds a real value.
+func RealVal(r float64) Value { return Value{Kind: KReal, R: r} }
+
+// BoolVal builds a logical value.
+func BoolVal(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// StrVal builds a character value.
+func StrVal(s string) Value { return Value{Kind: KStr, S: s} }
+
+// AsReal converts to float64 (integer widens).
+func (v Value) AsReal() float64 {
+	if v.Kind == KInt {
+		return float64(v.I)
+	}
+	return v.R
+}
+
+// AsInt converts to int64 (real truncates toward zero, as Fortran INT does).
+func (v Value) AsInt() int64 {
+	if v.Kind == KReal {
+		return int64(v.R)
+	}
+	return v.I
+}
+
+// Format renders the value the way our PRINT statement does.
+func (v Value) Format() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KReal:
+		return trimFloat(v.R)
+	case KBool:
+		if v.B {
+			return "T"
+		}
+		return "F"
+	case KStr:
+		return v.S
+	}
+	return "?"
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.6g", f)
+	return s
+}
+
+// numericBinop applies an arithmetic operator with Fortran promotion rules.
+func numericBinop(op string, a, b Value) (Value, error) {
+	if a.Kind == KInt && b.Kind == KInt {
+		switch op {
+		case "+":
+			return IntVal(a.I + b.I), nil
+		case "-":
+			return IntVal(a.I - b.I), nil
+		case "*":
+			return IntVal(a.I * b.I), nil
+		case "/":
+			if b.I == 0 {
+				return Value{}, fmt.Errorf("integer division by zero")
+			}
+			return IntVal(a.I / b.I), nil
+		case "**":
+			if b.I < 0 {
+				return IntVal(0), nil // Fortran integer pow with negative exp
+			}
+			r := int64(1)
+			base := a.I
+			for e := b.I; e > 0; e-- {
+				r *= base
+			}
+			return IntVal(r), nil
+		}
+		return Value{}, fmt.Errorf("bad integer operator %q", op)
+	}
+	x, y := a.AsReal(), b.AsReal()
+	switch op {
+	case "+":
+		return RealVal(x + y), nil
+	case "-":
+		return RealVal(x - y), nil
+	case "*":
+		return RealVal(x * y), nil
+	case "/":
+		return RealVal(x / y), nil
+	case "**":
+		return RealVal(powFloat(x, y)), nil
+	}
+	return Value{}, fmt.Errorf("bad real operator %q", op)
+}
+
+func powFloat(x, y float64) float64 { return math.Pow(x, y) }
+
+// compare applies a relational operator.
+func compare(op string, a, b Value) (Value, error) {
+	if a.Kind == KStr && b.Kind == KStr {
+		switch op {
+		case "==":
+			return BoolVal(a.S == b.S), nil
+		case "/=":
+			return BoolVal(a.S != b.S), nil
+		case "<":
+			return BoolVal(a.S < b.S), nil
+		case "<=":
+			return BoolVal(a.S <= b.S), nil
+		case ">":
+			return BoolVal(a.S > b.S), nil
+		case ">=":
+			return BoolVal(a.S >= b.S), nil
+		}
+	}
+	if a.Kind == KInt && b.Kind == KInt {
+		switch op {
+		case "==":
+			return BoolVal(a.I == b.I), nil
+		case "/=":
+			return BoolVal(a.I != b.I), nil
+		case "<":
+			return BoolVal(a.I < b.I), nil
+		case "<=":
+			return BoolVal(a.I <= b.I), nil
+		case ">":
+			return BoolVal(a.I > b.I), nil
+		case ">=":
+			return BoolVal(a.I >= b.I), nil
+		}
+	}
+	x, y := a.AsReal(), b.AsReal()
+	switch op {
+	case "==":
+		return BoolVal(x == y), nil
+	case "/=":
+		return BoolVal(x != y), nil
+	case "<":
+		return BoolVal(x < y), nil
+	case "<=":
+		return BoolVal(x <= y), nil
+	case ">":
+		return BoolVal(x > y), nil
+	case ">=":
+		return BoolVal(x >= y), nil
+	}
+	return Value{}, fmt.Errorf("bad comparison %q", op)
+}
+
+// formatPrintLine renders PRINT arguments like a Fortran list-directed
+// write (single spaces between items).
+func formatPrintLine(vals []Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.Format()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickTransferInvariants drives random traffic through the cluster
+// model and checks the invariants every delivery must satisfy:
+//   - causality: delivered no earlier than post + latency + wire time,
+//   - monotonicity per (src,dst) pair: FIFO delivery order,
+//   - conservation: every message is delivered exactly once.
+func TestQuickTransferInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	check := func() bool {
+		np := 2 + r.Intn(6)
+		prof := MPICHGM()
+		if r.Intn(2) == 0 {
+			prof = MPICHTCP()
+		}
+		cl := NewCluster(np, prof)
+		type rec struct {
+			src, dst  int
+			bytes     int64
+			posted    Time
+			delivered Time
+		}
+		n := 1 + r.Intn(40)
+		recs := make([]*rec, n)
+		delivered := 0
+		for i := 0; i < n; i++ {
+			src := r.Intn(np)
+			dst := r.Intn(np)
+			for dst == src {
+				dst = r.Intn(np)
+			}
+			rc := &rec{src: src, dst: dst, bytes: int64(1 + r.Intn(100000)), posted: Time(r.Intn(1000)) * Microsecond}
+			recs[i] = rc
+			cl.Transfer(src, dst, rc.bytes, rc.posted, func(at Time) {
+				rc.delivered = at
+				delivered++
+			})
+		}
+		if _, err := cl.Eng.Run(); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if delivered != n {
+			t.Logf("conservation violated: %d of %d delivered", delivered, n)
+			return false
+		}
+		for _, rc := range recs {
+			minTime := rc.posted + prof.Latency + Time(float64(rc.bytes)*prof.GapNsPerByte)
+			if rc.delivered < minTime {
+				t.Logf("causality violated: delivered %v < min %v", rc.delivered, minTime)
+				return false
+			}
+		}
+		// FIFO per ordered pair: posting order equals delivery order when
+		// posted at increasing times.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := recs[i], recs[j]
+				if a.src == b.src && a.dst == b.dst && a.posted < b.posted && a.delivered > b.delivered {
+					t.Logf("FIFO violated for pair (%d,%d)", a.src, a.dst)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEngineClockMonotone: under random compute/yield interleavings,
+// every process's clock is non-decreasing and the engine terminates.
+func TestQuickEngineClockMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	check := func() bool {
+		e := NewEngine()
+		nProcs := 1 + r.Intn(5)
+		violated := false
+		for i := 0; i < nProcs; i++ {
+			steps := make([]Time, 1+r.Intn(8))
+			for k := range steps {
+				steps[k] = Time(r.Intn(500)) * Microsecond
+			}
+			e.Spawn(func(p *Proc) {
+				last := p.Now()
+				for _, d := range steps {
+					p.Advance(d)
+					p.Yield()
+					if p.Now() < last {
+						violated = true
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return !violated
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilesTable sanity-checks the built-in profile registry.
+func TestProfilesTable(t *testing.T) {
+	ps := Profiles()
+	tcp, ok1 := ps["mpich-tcp"]
+	gm, ok2 := ps["mpich-gm"]
+	if !ok1 || !ok2 {
+		t.Fatalf("profiles = %v", ps)
+	}
+	if tcp.Offload {
+		t.Error("mpich-tcp must not be offload-capable")
+	}
+	if !gm.Offload {
+		t.Error("mpich-gm must be offload-capable")
+	}
+	if gm.CopyNsPerByte != 0 {
+		t.Error("mpich-gm should be zero-copy")
+	}
+	if tcp.GapNsPerByte <= gm.GapNsPerByte {
+		t.Error("the TCP-era wire should be slower than Myrinet")
+	}
+	if tcp.String() != "mpich-tcp" {
+		t.Errorf("profile String = %q", tcp.String())
+	}
+}
+
+// TestTimeFormatting covers the engineering-unit renderer.
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{Microsecond + Microsecond/2, "1.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Errorf("Seconds = %f", s)
+	}
+}

@@ -1,0 +1,506 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/analysis"
+	"repro/internal/dep"
+	"repro/internal/ftn"
+)
+
+// applyDirect transforms a direct-pattern site (§3.3) according to the node
+// loop placement (§3.5).
+func (rw *rewriter) applyDirect() error {
+	op := rw.op
+	pos := op.L.Pos()
+	if len(op.SafeRefs) != len(op.WriteRefs) {
+		return failf(pos, "%d of %d writes to %s are unsafe to pre-push", len(op.WriteRefs)-len(op.SafeRefs), len(op.WriteRefs), op.Call.As)
+	}
+	if len(op.ArDims) != len(op.AsDims) {
+		return failf(pos, "%s and %s have different ranks", op.Call.As, op.Call.Ar)
+	}
+	chain := op.Nest.Loops
+	if chain[0].Step != 1 {
+		return failf(pos, "the tiled loop must have step 1")
+	}
+	// Prototype restriction: subscript coefficients in {0,1} so that tile
+	// regions are dense and disjoint (no strided gaps).
+	for _, w := range op.WriteRefs {
+		for _, sub := range w.Subs {
+			for _, v := range sub.Vars() {
+				if c := sub.CoefOf(v); c != 0 && c != 1 {
+					return failf(pos, "subscript coefficient %d of %s in a write to %s is unsupported", c, v, op.Call.As)
+				}
+			}
+		}
+	}
+	// ℓ must finalize the whole array (§3.1): the union of everything it
+	// writes must cover As.
+	if err := rw.checkWholeArrayCoverage(); err != nil {
+		return err
+	}
+
+	switch op.NodeCase {
+	case analysis.NodeLoopInner:
+		return rw.directInner()
+	case analysis.NodeLoopOutermost:
+		if op.InterchangeOK {
+			return failf(pos, "interchange is pending; apply Interchange before the transformation")
+		}
+		return rw.directOutermost()
+	}
+	return failf(pos, "node loop not found")
+}
+
+// checkWholeArrayCoverage verifies that the union of the write regions over
+// the full iteration space covers every element of As.
+func (rw *rewriter) checkWholeArrayCoverage() error {
+	op := rw.op
+	union, err := rw.unionRegion(nil, "")
+	if err != nil {
+		return err
+	}
+	info, ok := access.Blocks(union, op.AsDims, op.Consts)
+	if !ok || info.FullPrefix != len(op.AsDims) {
+		return failf(op.L.Pos(), "loop nest does not finalize every element of %s (covered region %s)", op.Call.As, union)
+	}
+	return nil
+}
+
+// unionRegion computes the union of the write regions of all safe refs.
+// When tiledVar is nonempty, that variable is restricted to
+// [tileLo, tileLo+K-1]; otherwise full loop ranges are used.
+func (rw *rewriter) unionRegion(tileLo *dep.Affine, tiledVar string) (access.Region, error) {
+	op := rw.op
+	var union access.Region
+	first := true
+	for _, w := range op.WriteRefs {
+		var b access.Bounds
+		var ok bool
+		if tiledVar == "" {
+			b, ok = access.TileBounds(w.Loops, "\x00none", dep.NewAffine(0), 1)
+		} else {
+			b, ok = access.TileBounds(w.Loops, tiledVar, *tileLo, rw.k)
+		}
+		if !ok {
+			return access.Region{}, failf(op.L.Pos(), "cannot bound the loop nest iteration space")
+		}
+		reg, ok := access.WriteRegion(w, b)
+		if !ok {
+			return access.Region{}, failf(op.L.Pos(), "cannot compute the write region of %s", op.Call.As)
+		}
+		if first {
+			union = reg
+			first = false
+			continue
+		}
+		u, ok := access.Union(union, reg, op.Consts)
+		if !ok {
+			return access.Region{}, failf(op.L.Pos(), "cannot union write regions of %s", op.Call.As)
+		}
+		union = u
+	}
+	return union, nil
+}
+
+// directOutermost handles the case where the node loop is ℓ's outermost
+// (tiled) loop and interchange was not possible: each tile's block belongs
+// to a single partition, so all ranks send to one owner per tile (§3.5's
+// subset-send fallback, the shape of Fig. 2(b)).
+func (rw *rewriter) directOutermost() error {
+	op := rw.op
+	pos := op.L.Pos()
+	chain := op.Nest.Loops
+	tiled := chain[0]
+	rank := len(op.AsDims)
+
+	lo0, ok1 := tiled.Lo.Bind(op.Consts).Eval(nil)
+	hi0, ok2 := tiled.Hi.Bind(op.Consts).Eval(nil)
+	if !ok1 || !ok2 {
+		return failf(pos, "tiled loop bounds must be numeric in the subset-send case")
+	}
+	n := hi0 - lo0 + 1
+
+	// The last subscript must be tiledVar + c with numeric c, identical
+	// across writes, and the loop must traverse the last dimension exactly.
+	var cOff int64
+	for i, w := range op.WriteRefs {
+		lastSub := w.Subs[rank-1]
+		if lastSub.CoefOf(tiled.Var) != 1 || len(lastSub.Vars()) != 1 {
+			return failf(pos, "last subscript of %s must be %s + const in the subset-send case", op.Call.As, tiled.Var)
+		}
+		c := lastSub.Bind(op.Consts)
+		delete(c.Coef, tiled.Var)
+		if !c.IsConst() {
+			return failf(pos, "last subscript offset of %s is not numeric", op.Call.As)
+		}
+		if i == 0 {
+			cOff = c.Const
+		} else if c.Const != cOff {
+			return failf(pos, "writes to %s disagree on the last subscript offset", op.Call.As)
+		}
+	}
+	if n != rw.lastHi-rw.lastLo+1 || lo0+cOff != rw.lastLo {
+		return failf(pos, "tiled loop [%d:%d] does not traverse the last dimension [%d:%d] of %s", lo0, hi0, rw.lastLo, rw.lastHi, op.Call.As)
+	}
+	if rw.psz%rw.k != 0 {
+		return failf(pos, "tile size K=%d must divide the partition size %d so tiles do not straddle partitions", rw.k, rw.psz)
+	}
+
+	// Per-tile region: prefix dims must be fully covered.
+	tileLo := dep.Var(rw.vLo)
+	region, err := rw.unionRegion(&tileLo, tiled.Var)
+	if err != nil {
+		return err
+	}
+	info, ok := access.Blocks(region, op.AsDims, op.Consts)
+	if !ok || info.FullPrefix < rank-1 {
+		return failf(pos, "a tile does not cover the leading dimensions of %s fully (region %s)", op.Call.As, region)
+	}
+
+	// Generated code. Names for the self-copy loops.
+	var prefixVars []string
+	for d := 0; d < rank-1; d++ {
+		prefixVars = append(prefixVars, rw.fresh.Fresh(fmt.Sprintf("cc_c%d", d+1)))
+	}
+	vI := rw.fresh.Fresh("cc_i")
+
+	countExpr := ftn.Mul(productExpr(op.AsDims[:rank-1]), ftn.Int(rw.k))
+
+	// Index expression builders: prefix dims at their array lower bounds
+	// for buffer starts; last dim per role.
+	bufStart := func(array string, lastIdx ftn.Expr) *ftn.Ref {
+		r := ftn.Call(array)
+		for d := 0; d < rank-1; d++ {
+			r.Args = append(r.Args, affineToExpr(op.AsDims[d].Lo))
+		}
+		r.Args = append(r.Args, lastIdx)
+		return r
+	}
+	// Element refs for the self copy, indexed by the loop variables.
+	elemRef := func(array string, lastIdx ftn.Expr) *ftn.Ref {
+		r := ftn.Call(array)
+		for d := 0; d < rank-1; d++ {
+			r.Args = append(r.Args, ftn.Id(prefixVars[d]))
+		}
+		r.Args = append(r.Args, lastIdx)
+		return r
+	}
+
+	// cc_lo holds the tile's starting LAST-DIMENSION index (iteration start
+	// plus the constant subscript offset).
+	tileStartIdx := ftn.Id(rw.vLo)
+
+	// Self copy: ar(..., lastLo + me*psz + off + i) = as(..., cc_lo + i).
+	selfDst := ftn.Add(ftn.Add(rw.partitionStart(ftn.Id(rw.vMe)), ftn.Id(rw.vOff)), ftn.Id(vI))
+	selfSrc := ftn.Add(tileStartIdx, ftn.Id(vI))
+	var selfCopy ftn.Stmt = doLoop(vI, ftn.Int(0), ftn.Int(rw.k-1), []ftn.Stmt{
+		assignRef(elemRef(op.Call.Ar, selfDst), elemRef(op.Call.As, selfSrc)),
+	})
+	for d := rank - 2; d >= 0; d-- {
+		selfCopy = doLoop(prefixVars[d], affineToExpr(op.AsDims[d].Lo), affineToExpr(op.AsDims[d].Hi), []ftn.Stmt{selfCopy})
+	}
+
+	recvStart := ftn.Add(rw.partitionStart(ftn.Id(rw.vFrom)), ftn.Id(rw.vOff))
+	recvLoop := doLoop(rw.vJ, ftn.Int(1), ftn.Sub(ftn.Id(rw.vNp), ftn.Int(1)), append(
+		[]ftn.Stmt{assign(rw.vFrom, rw.ringPeer(false))},
+		rw.irecv(bufStart(op.Call.Ar, recvStart), ftn.CloneExpr(countExpr), ftn.Id(rw.vFrom))...,
+	))
+
+	sendOrRecv := &ftn.IfStmt{
+		Cond: ftn.Bin("/=", ftn.Id(rw.vTo), ftn.Id(rw.vMe)),
+		Then: rw.isend(bufStart(op.Call.As, ftn.CloneExpr(tileStartIdx)), countExpr, ftn.Id(rw.vTo)),
+		Else: []ftn.Stmt{recvLoop, comment("local copy of this rank's own partition block"), selfCopy},
+	}
+
+	tiles := n / rw.k
+	guardBody := []ftn.Stmt{
+		comment("pre-push tile exchange (inserted by compuniformer)"),
+		// Tile start as a last-dimension index.
+		assign(rw.vLo, ftn.Add(ftn.Sub(ftn.Id(tiled.Var), ftn.Int(rw.k-1)), ftn.Int(cOff))),
+	}
+	if rw.opts.PerTileWait {
+		guardBody = append(guardBody, rw.waitAllBlock())
+	}
+	guardBody = append(guardBody,
+		incr(rw.vTile),
+		assign(rw.vTo, ftn.Div(ftn.Sub(ftn.Id(rw.vLo), ftn.Int(rw.lastLo)), ftn.Int(rw.psz))),
+		assign(rw.vOff, ftn.Sub(ftn.Sub(ftn.Id(rw.vLo), ftn.Int(rw.lastLo)), ftn.Mul(ftn.Id(rw.vTo), ftn.Int(rw.psz)))),
+		sendOrRecv,
+	)
+	guard := &ftn.IfStmt{
+		Cond: ftn.Bin("==", ftn.Mod(ftn.Add(ftn.Sub(ftn.Id(tiled.Var), ftn.Int(lo0)), ftn.Int(1)), ftn.Int(rw.k)), ftn.Int(0)),
+		Then: guardBody,
+	}
+	op.L.Body = append(op.L.Body, guard)
+
+	// Declarations and splice.
+	rw.declareInts(rw.vMe, rw.vNp, rw.vIerr, rw.vNreq, rw.vTile, rw.vLo, rw.vTo, rw.vFrom, rw.vJ, rw.vOff, vI)
+	if len(prefixVars) > 0 {
+		rw.declareInts(prefixVars...)
+	}
+	if rw.opts.PerTileWait {
+		rw.declareReqArray(rw.np)
+	} else {
+		// Deferred waits: requests accumulate over a whole execution of ℓ.
+		rw.declareReqArray(tiles * rw.np)
+	}
+	post := []ftn.Stmt{
+		comment("drain the last tile's communication (inserted by compuniformer)"),
+		rw.waitAllBlock(),
+	}
+	rw.spliceAroundL(rw.preLoopSetup(), post)
+
+	rw.res.TileCount = n / rw.k
+	rw.res.Leftover = n % rw.k // always 0 under the divisibility checks
+	rw.res.MessagesTile = rw.np - 1
+	rw.res.Notes = append(rw.res.Notes, "subset-send schedule: one owner per tile (congestion caveat, §3.5)")
+	return nil
+}
+
+// directInner handles the preferred case: the node loop is inside the tiled
+// loop, so every tile writes data for all destinations and the Fig. 4
+// staggered all-peers exchange runs at the end of each tile.
+func (rw *rewriter) directInner() error {
+	op := rw.op
+	pos := op.L.Pos()
+	chain := op.Nest.Loops
+	tiled := chain[0]
+	rank := len(op.AsDims)
+
+	tileLo := dep.Var(rw.vLo)
+	region, err := rw.unionRegion(&tileLo, tiled.Var)
+	if err != nil {
+		return err
+	}
+	info, ok := access.Blocks(region, op.AsDims, op.Consts)
+	if !ok {
+		return failf(pos, "cannot analyze the tile block structure of %s", op.Call.As)
+	}
+	if info.BlockDim >= rank-1 {
+		return failf(pos, "tile region %s leaves no inner node-loop structure", region)
+	}
+	// The last dimension must be fully covered per tile.
+	full, okc := regionCoversDim(region, op.AsDims, rank-1, op.Consts)
+	if !okc || !full {
+		return failf(pos, "a tile does not traverse the whole last dimension of %s", op.Call.As)
+	}
+	// Exactly one dimension may depend on the tile window, it must be the
+	// block dimension, and the tile's extent there must be exactly K.
+	tiledDims := 0
+	for d := range region.Dims {
+		if region.Dims[d].Lo.CoefOf(rw.vLo) != 0 || region.Dims[d].Hi.CoefOf(rw.vLo) != 0 {
+			tiledDims++
+			if d != info.BlockDim {
+				return failf(pos, "tile window leaks into dimension %d of %s", d+1, op.Call.As)
+			}
+		}
+	}
+	if tiledDims != 1 {
+		return failf(pos, "tile window must affect exactly one dimension of %s, affects %d", op.Call.As, tiledDims)
+	}
+	if ext := region.Dims[info.BlockDim].Extent().Bind(op.Consts); !ext.IsConst() || ext.Const != rw.k {
+		return failf(pos, "tile region extent %s at the block dimension is not the tile size %d", region.Dims[info.BlockDim].Extent(), rw.k)
+	}
+
+	// Block geometry: contiguous runs of prefixProduct × tileLen elements;
+	// loop dims iterate the remaining dimensions, with the last dimension
+	// restricted to one partition per peer.
+	blockDim := info.BlockDim
+	// Count the point-to-point messages per tile for reporting and for the
+	// request array size: blocksPerDest = Π loop-dim extents with the last
+	// dim contributing psz.
+	blocksPerDest := rw.psz
+	for _, d := range info.LoopDims {
+		if d == rank-1 {
+			continue
+		}
+		ext, okx := region.Dims[d].Extent().Bind(op.Consts).Eval(nil)
+		if !okx {
+			return failf(pos, "tile block count along dimension %d is not numeric", d+1)
+		}
+		blocksPerDest *= ext
+	}
+	// Deferred waits need the request array sized for every tile of one
+	// execution; that requires a numeric trip count. Fall back to the
+	// paper's per-tile wait otherwise.
+	perTile := rw.opts.PerTileWait
+	reqSize := 2 * (rw.np - 1) * blocksPerDest
+	if !perTile {
+		if trip, okt := tripOf(tiled, op.Consts); okt {
+			tiles := trip/rw.k + 1 // +1 for the leftover batch
+			reqSize *= tiles
+		} else {
+			perTile = true
+		}
+	}
+
+	// Loop variables: one per array dimension (used by block loops and the
+	// self copy).
+	dimVars := make([]string, rank)
+	for d := range dimVars {
+		dimVars[d] = rw.fresh.Fresh(fmt.Sprintf("cc_b%d", d+1))
+	}
+
+	// commFor builds the whole per-tile exchange with the given tile length
+	// expression (K for whole tiles, cc_rem for the leftover).
+	commFor := func(tileLen ftn.Expr) []ftn.Stmt {
+		blockCount := ftn.Mul(productExpr(op.AsDims[:blockDim]), ftn.CloneExpr(tileLen))
+
+		// startRef builds the block start element for array at the current
+		// block-loop indices; peer selects the partition on the last dim.
+		startRef := func(array string) *ftn.Ref {
+			r := ftn.Call(array)
+			for d := 0; d < rank; d++ {
+				switch {
+				case d < blockDim:
+					r.Args = append(r.Args, affineToExpr(op.AsDims[d].Lo))
+				case d == blockDim:
+					r.Args = append(r.Args, affineToExpr(region.Dims[d].Lo))
+				case contains(info.LoopDims, d) || d == rank-1:
+					r.Args = append(r.Args, ftn.Id(dimVars[d]))
+				default:
+					r.Args = append(r.Args, affineToExpr(region.Dims[d].Lo))
+				}
+			}
+			return r
+		}
+
+		// blockLoops wraps body in loops over the loop dims; the last dim
+		// runs over the peer's partition.
+		blockLoops := func(peerVar string, body []ftn.Stmt) ftn.Stmt {
+			var s ftn.Stmt
+			wrapped := body
+			// Innermost to outermost: last dim first.
+			pStart := rw.partitionStart(ftn.Id(peerVar))
+			s = doLoop(dimVars[rank-1], pStart, ftn.Add(ftn.CloneExpr(pStart), ftn.Int(rw.psz-1)), wrapped)
+			for i := len(info.LoopDims) - 1; i >= 0; i-- {
+				d := info.LoopDims[i]
+				if d == rank-1 {
+					continue
+				}
+				s = doLoop(dimVars[d], affineToExpr(region.Dims[d].Lo), affineToExpr(region.Dims[d].Hi), []ftn.Stmt{s})
+			}
+			return s
+		}
+
+		sendBlock := blockLoops(rw.vTo, rw.isend(startRef(op.Call.As), ftn.CloneExpr(blockCount), ftn.Id(rw.vTo)))
+		recvBlock := blockLoops(rw.vFrom, rw.irecv(startRef(op.Call.Ar), ftn.CloneExpr(blockCount), ftn.Id(rw.vFrom)))
+
+		peerLoop := doLoop(rw.vJ, ftn.Int(1), ftn.Sub(ftn.Id(rw.vNp), ftn.Int(1)), []ftn.Stmt{
+			assign(rw.vTo, rw.ringPeer(true)),
+			sendBlock,
+			assign(rw.vFrom, rw.ringPeer(false)),
+			recvBlock,
+		})
+
+		// Self copy: element loops over the region with the last dim
+		// restricted to this rank's partition and the block dim to the tile.
+		elem := func(array string) *ftn.Ref {
+			r := ftn.Call(array)
+			for d := 0; d < rank; d++ {
+				r.Args = append(r.Args, ftn.Id(dimVars[d]))
+			}
+			return r
+		}
+		var selfCopy ftn.Stmt = assignRef(elem(op.Call.Ar), elem(op.Call.As))
+		for d := rank - 1; d >= 0; d-- {
+			var lo, hi ftn.Expr
+			switch {
+			case d == rank-1:
+				p := rw.partitionStart(ftn.Id(rw.vMe))
+				lo, hi = p, ftn.Add(ftn.CloneExpr(p), ftn.Int(rw.psz-1))
+			case d == blockDim:
+				lo = affineToExpr(region.Dims[d].Lo)
+				hi = ftn.Add(ftn.Add(ftn.CloneExpr(lo), ftn.CloneExpr(tileLen)), ftn.Int(-1))
+			default:
+				lo, hi = affineToExpr(region.Dims[d].Lo), affineToExpr(region.Dims[d].Hi)
+			}
+			selfCopy = doLoop(dimVars[d], lo, hi, []ftn.Stmt{selfCopy})
+		}
+
+		out := []ftn.Stmt{}
+		if perTile {
+			out = append(out, rw.waitAllBlock())
+		}
+		out = append(out,
+			incr(rw.vTile),
+			peerLoop,
+			comment("local copy of this rank's own partition block"),
+			selfCopy,
+		)
+		return out
+	}
+
+	// Whole-tile guard at the end of ℓ's body.
+	guard := &ftn.IfStmt{
+		Cond: ftn.Bin("==",
+			ftn.Mod(ftn.Add(ftn.Sub(ftn.Id(tiled.Var), affineToExpr(tiled.Lo)), ftn.Int(1)), ftn.Int(rw.k)),
+			ftn.Int(0)),
+		Then: append([]ftn.Stmt{
+			comment("pre-push tile exchange (inserted by compuniformer)"),
+			assign(rw.vLo, ftn.Sub(ftn.Id(tiled.Var), ftn.Int(rw.k-1))),
+		}, commFor(ftn.Int(rw.k))...),
+	}
+	op.L.Body = append(op.L.Body, guard)
+
+	// Leftover iterations (§3.6 step 3), computed at run time.
+	vRem := rw.fresh.Fresh("cc_rem")
+	tripExpr := ftn.Add(ftn.Sub(affineToExpr(tiled.Hi), affineToExpr(tiled.Lo)), ftn.Int(1))
+	leftover := []ftn.Stmt{
+		comment("exchange leftover iterations not covered by whole tiles"),
+		assign(vRem, ftn.Mod(tripExpr, ftn.Int(rw.k))),
+		&ftn.IfStmt{
+			Cond: ftn.Bin(">", ftn.Id(vRem), ftn.Int(0)),
+			Then: append([]ftn.Stmt{
+				assign(rw.vLo, ftn.Add(ftn.Sub(affineToExpr(tiled.Hi), ftn.Id(vRem)), ftn.Int(1))),
+			}, commFor(ftn.Id(vRem))...),
+		},
+	}
+	post := append(leftover,
+		comment("drain the last tile's communication (inserted by compuniformer)"),
+		rw.waitAllBlock(),
+	)
+
+	rw.declareInts(rw.vMe, rw.vNp, rw.vIerr, rw.vNreq, rw.vTile, rw.vLo, rw.vTo, rw.vFrom, rw.vJ, vRem)
+	rw.declareInts(dimVars...)
+	rw.declareReqArray(reqSize)
+	rw.spliceAroundL(rw.preLoopSetup(), post)
+
+	rw.res.MessagesTile = 2 * (rw.np - 1) * blocksPerDest
+	if trip, ok := tripOf(tiled, op.Consts); ok {
+		rw.res.TileCount = trip / rw.k
+		rw.res.Leftover = trip % rw.k
+	}
+	rw.res.Notes = append(rw.res.Notes, "all-peers staggered exchange per tile (Fig. 4)")
+	return nil
+}
+
+// regionCoversDim reports whether region covers array dimension d fully.
+func regionCoversDim(region access.Region, arr []access.Triplet, d int, consts map[string]int64) (bool, bool) {
+	loD := region.Dims[d].Lo.Bind(consts).Sub(arr[d].Lo.Bind(consts))
+	hiD := arr[d].Hi.Bind(consts).Sub(region.Dims[d].Hi.Bind(consts))
+	if !loD.IsConst() || !hiD.IsConst() {
+		return false, false
+	}
+	return loD.Const <= 0 && hiD.Const <= 0, true
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func tripOf(lp dep.Loop, consts map[string]int64) (int64, bool) {
+	lo, ok1 := lp.Lo.Bind(consts).Eval(nil)
+	hi, ok2 := lp.Hi.Bind(consts).Eval(nil)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return hi - lo + 1, true
+}

@@ -1,0 +1,102 @@
+package transform
+
+import (
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/dep"
+	"repro/internal/ftn"
+)
+
+// affineToExpr renders an affine form as a Fortran expression. Loop
+// variables and symbolic names become identifiers.
+func affineToExpr(a dep.Affine) ftn.Expr {
+	var e ftn.Expr
+	add := func(term ftn.Expr) {
+		if e == nil {
+			e = term
+		} else {
+			e = ftn.Add(e, term)
+		}
+	}
+	for _, v := range a.Vars() {
+		c := a.CoefOf(v)
+		switch {
+		case c == 1:
+			add(ftn.Id(v))
+		case c == -1:
+			if e == nil {
+				e = &ftn.Unary{Op: "-", X: ftn.Id(v)}
+			} else {
+				e = ftn.Sub(e, ftn.Id(v))
+			}
+		default:
+			add(ftn.Mul(ftn.Int(c), ftn.Id(v)))
+		}
+	}
+	syms := make([]string, 0, len(a.Syms))
+	for s := range a.Syms {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		c := a.Syms[s]
+		switch {
+		case c == 1:
+			add(ftn.Id(s))
+		case c == -1:
+			if e == nil {
+				e = &ftn.Unary{Op: "-", X: ftn.Id(s)}
+			} else {
+				e = ftn.Sub(e, ftn.Id(s))
+			}
+		default:
+			add(ftn.Mul(ftn.Int(c), ftn.Id(s)))
+		}
+	}
+	if a.Const != 0 || e == nil {
+		if e == nil {
+			return ftn.Int(a.Const)
+		}
+		if a.Const > 0 {
+			e = ftn.Add(e, ftn.Int(a.Const))
+		} else {
+			e = ftn.Sub(e, ftn.Int(-a.Const))
+		}
+	}
+	return e
+}
+
+// extentExpr builds "(hi - lo + 1)" for a triplet, folding literals.
+func extentExpr(t access.Triplet) ftn.Expr {
+	return ftn.Add(ftn.Sub(affineToExpr(t.Hi), affineToExpr(t.Lo)), ftn.Int(1))
+}
+
+// productExpr multiplies the extents of the given dims.
+func productExpr(dims []access.Triplet) ftn.Expr {
+	var e ftn.Expr = ftn.Int(1)
+	for _, d := range dims {
+		e = ftn.Mul(e, extentExpr(d))
+	}
+	return e
+}
+
+// doLoop builds "do v = lo, hi ... enddo".
+func doLoop(v string, lo, hi ftn.Expr, body []ftn.Stmt) *ftn.DoStmt {
+	return &ftn.DoStmt{Var: v, Lo: lo, Hi: hi, Body: body}
+}
+
+// partitionStart returns the expression for the first last-dimension index
+// of partition p (0-based rank expression): lastLo + p*psz.
+func (rw *rewriter) partitionStart(p ftn.Expr) ftn.Expr {
+	return ftn.Add(ftn.Int(rw.lastLo), ftn.Mul(p, ftn.Int(rw.psz)))
+}
+
+// ringPeer builds "mod(me + j, np)" (the Fig. 4 staggered destination) or
+// "mod(np + me - j, np)" (the source) depending on sendSide.
+func (rw *rewriter) ringPeer(sendSide bool) ftn.Expr {
+	if sendSide {
+		return ftn.Mod(ftn.Add(ftn.Id(rw.vMe), ftn.Id(rw.vJ)), ftn.Id(rw.vNp))
+	}
+	return ftn.Mod(ftn.Sub(ftn.Add(ftn.Id(rw.vNp), ftn.Id(rw.vMe)), ftn.Id(rw.vJ)), ftn.Id(rw.vNp))
+}

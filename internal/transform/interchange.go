@@ -1,0 +1,58 @@
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ftn"
+)
+
+// Interchange swaps ℓ's outermost loop header with the inner loop at the
+// chain level the analysis selected (§3.5: "we could use loop interchange to
+// exchange the outermost loop with one of the inner loops"). Legality was
+// established by dependence analysis; this routine only performs the
+// mechanical swap. The caller must re-run the analysis afterwards, since
+// reference loop orders change.
+func Interchange(op *analysis.Opportunity) error {
+	if !op.InterchangeOK {
+		return failf(op.L.Pos(), "interchange was not proven legal")
+	}
+	inner := chainLoopAt(op.L, op.InterchangeWith)
+	if inner == nil {
+		return failf(op.L.Pos(), "perfect-nest chain has no level %d", op.InterchangeWith)
+	}
+	// Headers must not depend on each other's variables (rectangular nest);
+	// triangular bounds would change meaning under interchange.
+	if ftn.ExprUses(inner.Lo, op.L.Var) || ftn.ExprUses(inner.Hi, op.L.Var) ||
+		ftn.ExprUses(op.L.Lo, inner.Var) || ftn.ExprUses(op.L.Hi, inner.Var) {
+		return failf(op.L.Pos(), "interchange of a non-rectangular nest")
+	}
+	op.L.Var, inner.Var = inner.Var, op.L.Var
+	op.L.Lo, inner.Lo = inner.Lo, op.L.Lo
+	op.L.Hi, inner.Hi = inner.Hi, op.L.Hi
+	op.L.Step, inner.Step = inner.Step, op.L.Step
+	return nil
+}
+
+// chainLoopAt returns the DO statement at the given perfect-chain level
+// below root (level 0 is root itself).
+func chainLoopAt(root *ftn.DoStmt, level int) *ftn.DoStmt {
+	cur := root
+	for l := 0; l < level; l++ {
+		var next *ftn.DoStmt
+		count := 0
+		for _, s := range cur.Body {
+			switch s := s.(type) {
+			case *ftn.CommentStmt:
+			case *ftn.DoStmt:
+				next = s
+				count++
+			default:
+				return nil
+			}
+		}
+		if count != 1 || next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ftn"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+)
+
+func TestGeneratedSourcesParse(t *testing.T) {
+	sources := map[string]string{
+		"direct":   DirectSource(DirectParams{NX: 32, Outer: 2, NP: 4, Weight: 2}),
+		"inner3d":  Inner3DSource(Inner3DParams{M: 8, NY: 8, SZ: 4, NP: 2, Weight: 1}),
+		"indirect": IndirectSource(IndirectParams{N: 4, NP: 2, Weight: 1}),
+	}
+	for name, src := range sources {
+		if _, err := ftn.Parse(src); err != nil {
+			t.Errorf("%s does not parse: %v\n%s", name, err, src)
+		}
+	}
+}
+
+func TestGeneratedSourcesRun(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		np   int
+	}{
+		{"direct", DirectSource(DirectParams{NX: 32, Outer: 2, NP: 4, Weight: 1}), 4},
+		{"inner3d", Inner3DSource(Inner3DParams{M: 8, NY: 8, SZ: 4, NP: 4, Weight: 1}), 4},
+		{"indirect", IndirectSource(IndirectParams{N: 4, NP: 4, Weight: 1}), 4},
+	}
+	for _, c := range cases {
+		p, err := interp.Load(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		res, err := p.Run(c.np, netsim.MPICHGM())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(res.Output[0]) == 0 || !strings.Contains(res.Output[0][0], "checksum") {
+			t.Errorf("%s: no checksum printed: %v", c.name, res.Output[0])
+		}
+	}
+}
+
+func TestCompareEquivalenceSmall(t *testing.T) {
+	src := Inner3DSource(Inner3DParams{M: 8, NY: 8, SZ: 4, NP: 4, Weight: 1})
+	cmp, err := Compare("small", src, RunOptions{NP: 4, K: 2, CheckEquivalence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Measurements) != 4 {
+		t.Fatalf("measurements = %d, want 4", len(cmp.Measurements))
+	}
+	norm := cmp.Normalized()
+	if len(norm) != 4 {
+		t.Fatalf("normalized = %v", norm)
+	}
+	best := 1e18
+	for _, v := range norm {
+		if v < best {
+			best = v
+		}
+	}
+	if best != 1.0 {
+		t.Errorf("best normalized = %f, want 1.0", best)
+	}
+	if !strings.Contains(cmp.String(), "mpich-gm") {
+		t.Errorf("table missing profile:\n%s", cmp)
+	}
+}
+
+func TestCompareDetectsBrokenTransform(t *testing.T) {
+	// Sanity for the checker itself: comparing two *different* programs
+	// must fail equivalence. We simulate that by checking Compare's error
+	// path through a kernel whose transform is rejected.
+	src := `
+program p
+  implicit none
+  include 'mpif.h'
+  integer as(1:8), ar(1:8), i, ierr
+  do i = 1, 8
+    if (i > 2) then
+      as(i) = i
+    endif
+  enddo
+  call mpi_alltoall(as, 2, mpi_integer, ar, 2, mpi_integer, mpi_comm_world, ierr)
+end program p
+`
+	if _, err := Compare("broken", src, RunOptions{NP: 4, K: 2}); err == nil {
+		t.Fatal("expected transform-did-not-fire error")
+	}
+}
+
+func TestFigure1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 1 run is seconds-long; skipped in -short")
+	}
+	cmp, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := cmp.Normalized()
+	tcpO, tcpP := norm["mpich-tcp original"], norm["mpich-tcp prepush"]
+	gmO, gmP := norm["mpich-gm original"], norm["mpich-gm prepush"]
+	// The paper's ordering: prepush ≤ original on both stacks; the offload
+	// stack is fastest overall.
+	if tcpP >= tcpO {
+		t.Errorf("tcp prepush (%.2f) not better than original (%.2f)", tcpP, tcpO)
+	}
+	if gmP >= gmO {
+		t.Errorf("gm prepush (%.2f) not better than original (%.2f)", gmP, gmO)
+	}
+	if gmP != 1.0 {
+		t.Errorf("gm prepush should be the baseline 1.0, got %.2f", gmP)
+	}
+	if gmO >= tcpP {
+		t.Errorf("gm original (%.2f) should beat tcp prepush (%.2f)", gmO, tcpP)
+	}
+}
