@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/workload"
@@ -137,6 +138,24 @@ func BenchmarkFigure4_CommGen(b *testing.B) {
 		if err != nil || rep.TransformedCount() != 1 || len(out) == 0 {
 			b.Fatalf("transform failed: %v", err)
 		}
+	}
+}
+
+// BenchmarkHarnessSweep runs the differential evaluation harness on a
+// family-diverse corpus prefix and reports the aggregate offload-profile
+// overlap gain (gm-geomean, the regression gate of cmd/evalrunner) as a
+// custom metric alongside the sweep's wall cost.
+func BenchmarkHarnessSweep(b *testing.B) {
+	corpus := workload.GenerateScenarios(workload.GenOptions{Limit: 6})
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Run(harness.Config{Scenarios: corpus, Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Summary.Correct != rep.Summary.Scenarios {
+			b.Fatalf("correctness oracle failed:\n%s", rep.Table())
+		}
+		b.ReportMetric(rep.Summary.GeomeanSpeedup["mpich-gm"], "gm-geomean")
 	}
 }
 

@@ -1,0 +1,80 @@
+// Command evalrunner runs the differential conformance-and-evaluation
+// sweep: every scenario of the generated corpus is parsed, executed,
+// transformed by the Compuniformer, executed again, checked for
+// bit-identical observable results, and timed under both network profiles.
+// The sweep is the repository's end-to-end regression gate.
+//
+// Usage:
+//
+//	go run ./cmd/evalrunner [-out BENCH_harness.json] [-seed N] [-limit N]
+//	                        [-parallel N] [-min 20] [-q]
+//
+// Exit status is nonzero when any scenario fails the correctness oracle,
+// any scenario errors, or the offload profile shows no aggregate overlap
+// gain (geomean speedup ≤ 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_harness.json", "path of the JSON bench artifact ('' disables)")
+	seed := flag.Int64("seed", 0, "corpus seed (0 = canonical corpus)")
+	limit := flag.Int("limit", 0, "truncate the corpus to its first N scenarios (0 = all)")
+	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS)")
+	min := flag.Int("min", 20, "fail unless the corpus has at least this many scenarios")
+	quiet := flag.Bool("q", false, "suppress the per-scenario table")
+	flag.Parse()
+
+	scenarios := workload.GenerateScenarios(workload.GenOptions{Seed: *seed, Limit: *limit})
+	if len(scenarios) < *min {
+		fmt.Fprintf(os.Stderr, "evalrunner: corpus has %d scenarios, need at least %d\n", len(scenarios), *min)
+		os.Exit(1)
+	}
+
+	rep, err := harness.Run(harness.Config{Scenarios: scenarios, Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(rep.Table())
+	} else {
+		fmt.Printf("%d scenarios, %d identical, %d errors\n",
+			rep.Summary.Scenarios, rep.Summary.Correct, rep.Summary.Errors)
+	}
+
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	ok := true
+	if rep.Summary.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "evalrunner: %d scenario(s) errored\n", rep.Summary.Errors)
+		ok = false
+	}
+	if rep.Summary.Correct != rep.Summary.Scenarios-rep.Summary.Errors {
+		fmt.Fprintf(os.Stderr, "evalrunner: correctness oracle failed on %d scenario(s)\n",
+			rep.Summary.Scenarios-rep.Summary.Errors-rep.Summary.Correct)
+		ok = false
+	}
+	for name, g := range rep.Summary.GeomeanSpeedup {
+		if name == "mpich-gm" && g <= 1.0 {
+			fmt.Fprintf(os.Stderr, "evalrunner: no aggregate overlap gain on %s (geomean %.3f)\n", name, g)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

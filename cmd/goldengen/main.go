@@ -1,0 +1,102 @@
+// Command goldengen (re)generates the golden fixtures under testdata/ that
+// pin the Compuniformer's codegen:
+//
+//	figure2_before.f90 / figure2_after.f90 — the direct pattern (paper Fig. 2)
+//	figure3_before.f90 / figure3_after.f90 — the indirect pattern (paper Fig. 3)
+//	figure4_commcode.f90                   — the generated staggered exchange
+//	                                         block (paper Fig. 4)
+//
+// The fixtures are the reviewed transformation outputs; internal/core's
+// golden tests compare against them byte for byte, so any codegen change
+// shows up as a diff here first. Run from the repository root:
+//
+//	go run ./cmd/goldengen [-dir testdata]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata", "output directory for the fixtures")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// Figure 2: the direct pattern, same parameters as cmd/paperfigs.
+	fig2 := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8, Weight: 0})
+	fig2after := transform(fig2, core.Options{K: 4}, "figure2")
+
+	// Figure 3: the indirect pattern (copy through a temporary).
+	fig3 := workload.IndirectSource(workload.IndirectParams{N: 8, NP: 4, Weight: 0})
+	fig3after := transform(fig3, core.Options{K: 2}, "figure3")
+
+	// Figure 4: only the generated exchange block of the inner-node-loop
+	// form, extracted the same way cmd/paperfigs prints it.
+	fig4src := workload.Inner3DSource(workload.Inner3DParams{M: 4, NY: 16, SZ: 8, NP: 4, Weight: 0})
+	fig4after := transform(fig4src, core.Options{K: 4}, "figure4")
+	fig4block, err := exchangeBlock(fig4after)
+	if err != nil {
+		fatal(err)
+	}
+
+	for name, text := range map[string]string{
+		"figure2_before.f90":   fig2,
+		"figure2_after.f90":    fig2after,
+		"figure3_before.f90":   fig3,
+		"figure3_after.f90":    fig3after,
+		"figure4_commcode.f90": fig4block,
+	} {
+		path := filepath.Join(*dir, name)
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(text))
+	}
+}
+
+// transform runs the Compuniformer and insists exactly one site fired.
+func transform(src string, opts core.Options, what string) string {
+	out, rep, err := core.Transform(src, opts)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", what, err))
+	}
+	if rep.TransformedCount() != 1 {
+		fatal(fmt.Errorf("%s: transform did not fire:\n%s", what, rep))
+	}
+	return out
+}
+
+// exchangeBlock extracts the generated pre-push exchange (the Fig. 4 code)
+// from a transformed source, mirroring cmd/paperfigs.
+func exchangeBlock(out string) (string, error) {
+	lines := strings.Split(out, "\n")
+	start, end := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "pre-push tile exchange") {
+			start = i - 1
+		}
+		if start >= 0 && strings.Contains(l, "local copy of this rank") {
+			end = i
+			break
+		}
+	}
+	if start < 0 || end < 0 {
+		return "", fmt.Errorf("exchange block not found in transformed source")
+	}
+	return strings.Join(lines[start:end], "\n") + "\n", nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goldengen:", err)
+	os.Exit(1)
+}

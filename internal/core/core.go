@@ -73,6 +73,29 @@ func (r *Report) TransformedCount() int {
 	return n
 }
 
+// FirstRejection returns the first rejection reason in the report, or ""
+// when every site transformed. Harness code uses it to explain why a
+// scenario's transformation did not fire.
+func (r *Report) FirstRejection() string {
+	for _, s := range r.Sites {
+		if !s.Transformed {
+			return s.Reason
+		}
+	}
+	return ""
+}
+
+// AnyInterchanged reports whether any transformed site applied the §3.5
+// loop interchange.
+func (r *Report) AnyInterchanged() bool {
+	for _, s := range r.Sites {
+		if s.Transformed && s.Result != nil && s.Result.Interchanged {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders a human-readable summary.
 func (r *Report) String() string {
 	out := fmt.Sprintf("compuniformer: %d site(s), %d transformed\n", len(r.Sites), r.TransformedCount())

@@ -1,0 +1,180 @@
+package ftn
+
+import (
+	"testing"
+)
+
+// cloneFixture is a program exercising every statement and expression kind
+// the cloner handles.
+const cloneFixture = `
+program clones
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: n = 8
+  integer a(1:n, 1:n)
+  integer i, j, s
+  real x
+
+  s = 0
+  x = 1.5
+  do i = 1, n
+    do j = 1, n, 2
+      a(i, j) = -(i*3 + j) + mod(i, 2)
+    enddo
+    if (i > n/2) then
+      s = s + a(i, 1)
+    else
+      s = s - 1
+      cycle
+    endif
+    if (s > 100) then
+      exit
+    endif
+  enddo
+  print *, 'sum', s
+  call helper(a, s)
+  stop
+end program clones
+
+subroutine helper(a, s)
+  integer a(*)
+  integer s
+  s = s + a(1)
+  return
+end subroutine helper
+`
+
+func parseFixture(t *testing.T) *File {
+	t.Helper()
+	f, err := Parse(cloneFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestCloneFileIndependence: mutating every node of the clone must leave
+// the original untouched (print-equal to its own fresh parse).
+func TestCloneFileIndependence(t *testing.T) {
+	orig := parseFixture(t)
+	before := Print(orig)
+
+	clone := CloneFile(orig)
+	if Print(clone) != before {
+		t.Fatal("clone does not print identically to the original")
+	}
+
+	// Mutate the clone aggressively: rename every identifier and ref, and
+	// rewrite every literal.
+	for _, u := range clone.Units {
+		u.Name = "mut_" + u.Name
+		for _, d := range u.Decls {
+			for _, e := range d.Entities {
+				e.Name = "mut_" + e.Name
+			}
+		}
+		mutateStmts(u.Body)
+	}
+
+	if after := Print(orig); after != before {
+		t.Errorf("mutating the clone changed the original:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+}
+
+func mutateStmts(stmts []Stmt) {
+	Inspect(stmts, func(s Stmt) bool {
+		for _, e := range StmtExprs(s) {
+			WalkExpr(e, func(x Expr) bool {
+				switch x := x.(type) {
+				case *Ident:
+					x.Name = "zz_" + x.Name
+				case *Ref:
+					x.Name = "zz_" + x.Name
+				case *IntLit:
+					x.Value += 1000
+				case *RealLit:
+					x.Value += 1000
+				}
+				return true
+			})
+		}
+		if d, ok := s.(*DoStmt); ok {
+			d.Var = "zz_" + d.Var
+		}
+		if c, ok := s.(*CallStmt); ok {
+			c.Name = "zz_" + c.Name
+		}
+		return true
+	})
+}
+
+// TestCloneStmtSharedNothing: a cloned statement must share no Expr or Stmt
+// pointers with its source (pointer-level aliasing check, catching shallow
+// copies that happen to print identically).
+func TestCloneStmtSharedNothing(t *testing.T) {
+	f := parseFixture(t)
+	unit := f.Program()
+	seen := map[Expr]bool{}
+	Inspect(unit.Body, func(s Stmt) bool {
+		for _, e := range StmtExprs(s) {
+			WalkExpr(e, func(x Expr) bool {
+				seen[x] = true
+				return true
+			})
+		}
+		return true
+	})
+	clone := CloneStmts(unit.Body)
+	Inspect(clone, func(s Stmt) bool {
+		for _, e := range StmtExprs(s) {
+			WalkExpr(e, func(x Expr) bool {
+				if seen[x] {
+					t.Fatalf("clone shares expression node %T with original", x)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// TestCloneExprEquality: clones are structurally equal but not identical.
+func TestCloneExprEquality(t *testing.T) {
+	e := &Binary{
+		Op: "+",
+		X:  &Ref{Name: "a", Args: []Expr{&Ident{Name: "i"}}},
+		Y:  &Unary{Op: "-", X: &IntLit{Value: 3}},
+	}
+	c := CloneExpr(e)
+	if !EqualExpr(e, c) {
+		t.Fatal("clone not structurally equal")
+	}
+	cb := c.(*Binary)
+	cb.X.(*Ref).Args[0].(*Ident).Name = "j"
+	if EqualExpr(e, c) {
+		t.Fatal("mutating clone affected structural equality — nodes are shared")
+	}
+	if e.X.(*Ref).Args[0].(*Ident).Name != "i" {
+		t.Fatal("original mutated through clone")
+	}
+}
+
+// TestCloneDeclDeep: dimension bound expressions must be deep-copied.
+func TestCloneDeclDeep(t *testing.T) {
+	d := &Decl{
+		Type: TypeSpec{Base: TInteger},
+		Entities: []*Entity{{
+			Name: "a",
+			Dims: []Dim{{Lo: Int(1), Hi: &Ident{Name: "n"}}},
+		}},
+	}
+	c := CloneDecl(d)
+	c.Entities[0].Dims[0].Hi.(*Ident).Name = "m"
+	if d.Entities[0].Dims[0].Hi.(*Ident).Name != "n" {
+		t.Error("CloneDecl shares dimension expressions")
+	}
+	c.Entities[0].Name = "b"
+	if d.Entities[0].Name != "a" {
+		t.Error("CloneDecl shares entities")
+	}
+}

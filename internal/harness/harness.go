@@ -1,0 +1,312 @@
+// Package harness runs the differential conformance-and-evaluation sweep:
+// for every scenario in a corpus it parses the Fortran kernel, executes the
+// untransformed program on the simulated cluster, applies the pre-push
+// transformation, executes the transformed program identically, asserts
+// bit-identical observable results (the correctness oracle of the paper's
+// §4 protocol), and reports simulated makespans under each network profile.
+// The sweep is the repository's regression gate: a transformation change
+// that corrupts results or loses the overlap gain fails it.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// Schema identifies the JSON artifact layout.
+const Schema = "repro/bench-harness/v1"
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Scenarios is the corpus; empty means the full generated default
+	// corpus (workload.GenerateScenarios with seed 0).
+	Scenarios []workload.Scenario
+	// Profiles are the network stacks to measure under; empty means the
+	// paper's pair: MPICH-TCP (host progress) and MPICH-GM (NIC offload).
+	Profiles []netsim.Profile
+	// Parallelism bounds concurrent scenario workers; <= 0 means
+	// GOMAXPROCS. Results are deterministic regardless of the value: each
+	// scenario is self-contained and results are collected by index.
+	Parallelism int
+	// Arrays names the observable arrays the correctness oracle compares
+	// (besides all printed output); empty means {"ar"}, the receive array
+	// every corpus kernel exposes. The send array is excluded because the
+	// indirect transformation legally makes it dead (§3.4).
+	Arrays []string
+}
+
+// ProfileRun is one (scenario, profile) differential measurement.
+type ProfileRun struct {
+	Profile    string  `json:"profile"`
+	Offload    bool    `json:"offload"`
+	OriginalNs int64   `json:"original_ns"` // untransformed makespan
+	PrepushNs  int64   `json:"prepush_ns"`  // transformed makespan
+	Speedup    float64 `json:"speedup"`     // original / prepush
+
+	// Blocked time is the overlap story: pre-pushing converts per-rank
+	// blocked (waiting) time into overlapped computation.
+	OriginalBlockedNs int64 `json:"original_blocked_ns"` // avg per rank
+	PrepushBlockedNs  int64 `json:"prepush_blocked_ns"`  // avg per rank
+
+	OriginalMessages int64 `json:"original_messages"`
+	PrepushMessages  int64 `json:"prepush_messages"`
+	OriginalBytes    int64 `json:"original_bytes"`
+	PrepushBytes     int64 `json:"prepush_bytes"`
+}
+
+// Outcome is one scenario's full differential result.
+type Outcome struct {
+	Name      string `json:"name"`
+	Family    string `json:"family"`
+	NP        int    `json:"np"`
+	K         int64  `json:"k"`
+	Seed      int64  `json:"seed"`
+	PairBytes int64  `json:"pair_bytes"`
+	Regime    string `json:"regime"` // eager | rendezvous
+
+	TransformedSites int  `json:"transformed_sites"`
+	Interchanged     bool `json:"interchanged"`
+
+	// Identical is the correctness oracle verdict: bit-identical printed
+	// output and observable arrays under every profile.
+	Identical bool   `json:"identical"`
+	Mismatch  string `json:"mismatch,omitempty"`
+	Err       string `json:"error,omitempty"`
+
+	Profiles []ProfileRun `json:"profiles"`
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Scenarios int `json:"scenarios"`
+	Correct   int `json:"correct"` // scenarios passing the oracle
+	Errors    int `json:"errors"`
+	// GeomeanSpeedup maps profile name → geometric-mean original/prepush
+	// makespan ratio over clean scenarios (error-free AND oracle-passing).
+	GeomeanSpeedup map[string]float64 `json:"geomean_speedup"`
+	// OffloadGained counts clean scenarios (once each) whose prepush run
+	// is at least as fast as the original on some offload profile.
+	OffloadGained int `json:"offload_gained"`
+}
+
+// Report is the sweep artifact (marshalled to BENCH_harness.json).
+type Report struct {
+	Schema    string    `json:"schema"`
+	Scenarios []Outcome `json:"scenarios"`
+	Summary   Summary   `json:"summary"`
+}
+
+// Run executes the sweep. The returned error covers only configuration
+// problems; per-scenario failures are recorded in their Outcome (and in
+// Summary) so one broken scenario cannot hide the rest of the corpus.
+func Run(cfg Config) (*Report, error) {
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = workload.GenerateScenarios(workload.GenOptions{})
+	}
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()}
+	}
+	arrays := cfg.Arrays
+	if len(arrays) == 0 {
+		arrays = []string{"ar"}
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(scenarios) {
+		par = len(scenarios)
+	}
+	if par < 1 {
+		return nil, fmt.Errorf("harness: empty corpus")
+	}
+
+	outcomes := make([]Outcome, len(scenarios))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = runScenario(scenarios[i], profiles, arrays)
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Schema: Schema, Scenarios: outcomes}
+	rep.Summary = summarize(outcomes)
+	return rep, nil
+}
+
+// runScenario executes the full differential chain for one scenario.
+func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []string) Outcome {
+	out := Outcome{
+		Name: sc.Name, Family: sc.Family, NP: sc.NP, K: sc.K, Seed: sc.Seed,
+		PairBytes: sc.PairBytes, Regime: sc.Regime,
+	}
+	fail := func(format string, args ...interface{}) Outcome {
+		out.Err = fmt.Sprintf(format, args...)
+		return out
+	}
+
+	// 1. Transform (parse → analyze → rewrite → unparse).
+	transformed, rep, err := core.Transform(sc.Source, core.Options{K: sc.K})
+	if err != nil {
+		return fail("transform: %v", err)
+	}
+	out.TransformedSites = rep.TransformedCount()
+	out.Interchanged = rep.AnyInterchanged()
+	if out.TransformedSites == 0 {
+		return fail("transform did not fire: %s", rep.FirstRejection())
+	}
+
+	// 2–5. Run both variants under every profile; assert identical results.
+	out.Identical = true
+	for _, prof := range profiles {
+		var results [2]*interp.Result
+		var times [2]netsim.Time
+		var blocked [2]netsim.Time
+		var msgs, bytes [2]int64
+		for vi, text := range []string{sc.Source, transformed} {
+			prog, err := interp.Load(text)
+			if err != nil {
+				return fail("load %s variant %d: %v", prof.Name, vi, err)
+			}
+			if sc.Costs != nil {
+				prog.Costs = *sc.Costs
+			}
+			res, err := prog.Run(sc.NP, prof)
+			if err != nil {
+				return fail("run %s variant %d: %v", prof.Name, vi, err)
+			}
+			results[vi] = res
+			times[vi] = res.Elapsed()
+			_, b := res.AvgRankTimes()
+			blocked[vi] = b
+			msgs[vi] = res.Stats.Messages
+			bytes[vi] = res.Stats.Bytes
+		}
+		pr := ProfileRun{
+			Profile: prof.Name, Offload: prof.Offload,
+			OriginalNs: int64(times[0]), PrepushNs: int64(times[1]),
+			OriginalBlockedNs: int64(blocked[0]), PrepushBlockedNs: int64(blocked[1]),
+			OriginalMessages: msgs[0], PrepushMessages: msgs[1],
+			OriginalBytes: bytes[0], PrepushBytes: bytes[1],
+		}
+		if times[1] > 0 {
+			pr.Speedup = float64(times[0]) / float64(times[1])
+		}
+		out.Profiles = append(out.Profiles, pr)
+		if same, why := interp.SameObservable(results[0], results[1], arrays...); !same {
+			out.Identical = false
+			if out.Mismatch == "" {
+				out.Mismatch = fmt.Sprintf("%s: %s", prof.Name, why)
+			}
+		}
+	}
+	return out
+}
+
+// summarize folds outcomes into the aggregate verdicts.
+func summarize(outcomes []Outcome) Summary {
+	s := Summary{Scenarios: len(outcomes), GeomeanSpeedup: map[string]float64{}}
+	logSum := map[string]float64{}
+	cnt := map[string]int{}
+	for _, o := range outcomes {
+		if o.Err != "" {
+			s.Errors++
+			continue
+		}
+		if !o.Identical {
+			// A scenario that failed the oracle contributes nothing to the
+			// performance aggregates: a transformation that corrupts
+			// results must not inflate the reported overlap gain.
+			continue
+		}
+		s.Correct++
+		gained := false
+		for _, pr := range o.Profiles {
+			if pr.Speedup > 0 {
+				logSum[pr.Profile] += math.Log(pr.Speedup)
+				cnt[pr.Profile]++
+			}
+			if pr.Offload && pr.Speedup >= 1.0 {
+				gained = true
+			}
+		}
+		if gained {
+			s.OffloadGained++
+		}
+	}
+	for name, ls := range logSum {
+		s.GeomeanSpeedup[name] = math.Exp(ls / float64(cnt[name]))
+	}
+	return s
+}
+
+// WriteJSON writes the report artifact (pretty-printed, trailing newline).
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Table renders the per-scenario results as an aligned text table, profiles
+// sorted as configured, scenarios in corpus order.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s %-10s %6s %5s  %-10s %12s %12s %8s  %s\n",
+		"scenario", "regime", "np", "K", "profile", "original", "prepush", "speedup", "oracle")
+	for _, o := range r.Scenarios {
+		if o.Err != "" {
+			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  ERROR: %s\n", o.Name, o.Regime, o.NP, o.K, o.Err)
+			continue
+		}
+		verdict := "identical"
+		if !o.Identical {
+			verdict = "MISMATCH: " + o.Mismatch
+		}
+		for i, pr := range o.Profiles {
+			name, regime := o.Name, o.Regime
+			v := verdict
+			if i > 0 {
+				name, regime, v = "", "", ""
+			}
+			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  %-10s %12s %12s %8.2f  %s\n",
+				name, regime, o.NP, o.K, pr.Profile,
+				netsim.Time(pr.OriginalNs), netsim.Time(pr.PrepushNs), pr.Speedup, v)
+		}
+	}
+	var profs []string
+	for p := range r.Summary.GeomeanSpeedup {
+		profs = append(profs, p)
+	}
+	sort.Strings(profs)
+	fmt.Fprintf(&sb, "\n%d scenarios, %d identical, %d errors\n",
+		r.Summary.Scenarios, r.Summary.Correct, r.Summary.Errors)
+	for _, p := range profs {
+		fmt.Fprintf(&sb, "geomean speedup %-10s %.3f\n", p, r.Summary.GeomeanSpeedup[p])
+	}
+	return sb.String()
+}

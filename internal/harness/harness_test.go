@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// smallCorpus returns a fast, family-diverse prefix of the generated corpus.
+func smallCorpus(t testing.TB, n int) []workload.Scenario {
+	t.Helper()
+	scenarios := workload.GenerateScenarios(workload.GenOptions{Limit: n})
+	if len(scenarios) != n {
+		t.Fatalf("corpus prefix has %d scenarios, want %d", len(scenarios), n)
+	}
+	return scenarios
+}
+
+// TestDifferentialSweep is the end-to-end conformance check on a corpus
+// prefix: every transformed program must produce bit-identical observable
+// results under both profiles.
+func TestDifferentialSweep(t *testing.T) {
+	rep, err := Run(Config{Scenarios: smallCorpus(t, 6), Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 0 {
+		t.Fatalf("errors in sweep:\n%s", rep.Table())
+	}
+	if rep.Summary.Correct != rep.Summary.Scenarios {
+		t.Fatalf("correctness oracle failed:\n%s", rep.Table())
+	}
+	families := map[string]bool{}
+	for _, o := range rep.Scenarios {
+		families[o.Family] = true
+		if len(o.Profiles) != 2 {
+			t.Errorf("%s: %d profile runs, want 2", o.Name, len(o.Profiles))
+		}
+		for _, pr := range o.Profiles {
+			if pr.OriginalNs <= 0 || pr.PrepushNs <= 0 {
+				t.Errorf("%s/%s: nonpositive makespan", o.Name, pr.Profile)
+			}
+		}
+	}
+	if len(families) < 4 {
+		t.Errorf("corpus prefix covers %d families, want ≥ 4 (prefix must stay diverse)", len(families))
+	}
+}
+
+// TestDeterministicAcrossParallelism: the sweep's report must be identical
+// regardless of worker count — concurrency must not leak into results.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	corpus := smallCorpus(t, 5)
+	var reports [][]byte
+	for _, par := range []int{1, 4} {
+		rep, err := Run(Config{Scenarios: corpus, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+	}
+	if string(reports[0]) != string(reports[1]) {
+		t.Error("report differs between parallelism 1 and 4")
+	}
+}
+
+// TestSeedReproducible: the same seed yields the same corpus; a different
+// seed yields different kernels (and the sweep still passes on them).
+func TestSeedReproducible(t *testing.T) {
+	a := workload.GenerateScenarios(workload.GenOptions{Seed: 42})
+	b := workload.GenerateScenarios(workload.GenOptions{Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := workload.GenerateScenarios(workload.GenOptions{Seed: 43})
+	differ := false
+	for i := range a {
+		if a[i].Source != c[i].Source {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical kernel sources")
+	}
+
+	// A salted corpus must still pass the oracle (spot-check a prefix).
+	rep, err := Run(Config{Scenarios: a[:3], Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Correct != 3 || rep.Summary.Errors != 0 {
+		t.Fatalf("salted corpus failed:\n%s", rep.Table())
+	}
+}
+
+// TestCorpusShape pins the acceptance-level properties of the default
+// corpus: at least 20 scenarios, unique names, both message regimes, and
+// every kernel family represented.
+func TestCorpusShape(t *testing.T) {
+	scenarios := workload.GenerateScenarios(workload.GenOptions{})
+	if len(scenarios) < 20 {
+		t.Fatalf("default corpus has %d scenarios, want ≥ 20", len(scenarios))
+	}
+	names := map[string]bool{}
+	families := map[string]int{}
+	regimes := map[string]int{}
+	for _, sc := range scenarios {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %s", sc.Name)
+		}
+		names[sc.Name] = true
+		families[sc.Family]++
+		regimes[sc.Regime]++
+		if sc.NP < 2 {
+			t.Errorf("%s: np=%d", sc.Name, sc.NP)
+		}
+	}
+	for _, f := range []string{"direct", "inner3d", "indirect", "fft", "lu", "sort"} {
+		if families[f] == 0 {
+			t.Errorf("family %s missing from corpus", f)
+		}
+	}
+	if regimes["eager"] == 0 || regimes["rendezvous"] == 0 {
+		t.Errorf("corpus misses a message regime: %v", regimes)
+	}
+}
+
+// TestWriteJSON checks the artifact round-trips with the expected schema.
+func TestWriteJSON(t *testing.T) {
+	rep, err := Run(Config{Scenarios: smallCorpus(t, 2), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_harness.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema {
+		t.Errorf("schema %q, want %q", back.Schema, Schema)
+	}
+	if len(back.Scenarios) != 2 {
+		t.Errorf("%d scenarios in artifact, want 2", len(back.Scenarios))
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("artifact should end with a newline")
+	}
+}
+
+// TestBrokenScenarioIsolated: one unparseable scenario must not take down
+// the sweep — it is reported in its outcome and the summary.
+func TestBrokenScenarioIsolated(t *testing.T) {
+	good := smallCorpus(t, 1)
+	bad := workload.Scenario{
+		Name: "broken/unparseable", Family: "direct",
+		Source: "this is not fortran", NP: 4, K: 2,
+	}
+	rep, err := Run(Config{Scenarios: []workload.Scenario{bad, good[0]}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 1 {
+		t.Fatalf("errors = %d, want 1:\n%s", rep.Summary.Errors, rep.Table())
+	}
+	if rep.Scenarios[0].Err == "" {
+		t.Error("broken scenario has no recorded error")
+	}
+	if rep.Summary.Correct != 1 {
+		t.Errorf("good scenario should still pass (correct=%d)", rep.Summary.Correct)
+	}
+}

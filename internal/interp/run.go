@@ -44,6 +44,21 @@ type Result struct {
 // Elapsed returns the virtual completion time.
 func (r *Result) Elapsed() netsim.Time { return r.Stats.End }
 
+// AvgRankTimes returns the average per-rank compute and blocked (waiting)
+// times — the split the paper's Figure 1 discussion is about: pre-pushing
+// converts blocked time into overlapped compute.
+func (r *Result) AvgRankTimes() (compute, blocked netsim.Time) {
+	if r.Stats == nil || len(r.Stats.PerRank) == 0 {
+		return 0, 0
+	}
+	for _, rs := range r.Stats.PerRank {
+		compute += rs.Compute
+		blocked += rs.Blocked
+	}
+	n := netsim.Time(len(r.Stats.PerRank))
+	return compute / n, blocked / n
+}
+
 // OutputLines flattens per-rank output with rank prefixes, sorted by rank
 // (deterministic across schedulers).
 func (r *Result) OutputLines() []string {

@@ -59,6 +59,22 @@ func MPICHGM() Profile {
 	}
 }
 
+// WithEagerThreshold returns a copy of the profile with the eager/rendezvous
+// protocol switch moved to the given byte count. Evaluation code uses it to
+// force a message-size regime without resizing the workload.
+func (p Profile) WithEagerThreshold(bytes int64) Profile {
+	p.EagerThreshold = bytes
+	return p
+}
+
+// WithOffload returns a copy of the profile with NIC autonomy forced on or
+// off — the ablation knob that isolates how much of the pre-push gain needs
+// hardware progress.
+func (p Profile) WithOffload(offload bool) Profile {
+	p.Offload = offload
+	return p
+}
+
 // Profiles returns the built-in profiles by name.
 func Profiles() map[string]Profile {
 	return map[string]Profile{

@@ -1,0 +1,72 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ftn"
+	"repro/internal/workload"
+)
+
+// TestEveryCorpusScenarioTransforms: each generated kernel must parse and
+// the Compuniformer must fire on exactly one site — a scenario whose
+// transformation silently no-ops would make the differential sweep
+// vacuous. (Execution itself is covered by internal/harness.)
+func TestEveryCorpusScenarioTransforms(t *testing.T) {
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			out, rep, err := core.Transform(sc.Source, core.Options{K: sc.K})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			if rep.TransformedCount() != 1 {
+				t.Fatalf("transformed %d sites, want 1: %s", rep.TransformedCount(), rep.FirstRejection())
+			}
+			if strings.Contains(out, "call mpi_alltoall") {
+				t.Error("original alltoall survived the transformation")
+			}
+			// The rewritten source must stay inside the parseable subset.
+			if _, err := ftn.Parse(out); err != nil {
+				t.Fatalf("transformed source does not re-parse: %v", err)
+			}
+		})
+	}
+}
+
+// TestScenarioRegimeClassification pins the eager/rendezvous split against
+// the profiles' 16 KiB threshold.
+func TestScenarioRegimeClassification(t *testing.T) {
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
+		want := "eager"
+		if sc.PairBytes > 16*1024 {
+			want = "rendezvous"
+		}
+		if sc.Regime != want {
+			t.Errorf("%s: regime %s, want %s (pair %d bytes)", sc.Name, sc.Regime, want, sc.PairBytes)
+		}
+	}
+}
+
+// TestSaltZeroIsCanonical: the Salt parameter must leave the canonical
+// kernels byte-identical at 0 — the golden fixtures depend on it.
+func TestSaltZeroIsCanonical(t *testing.T) {
+	a := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8})
+	b := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8, Salt: 0})
+	if a != b {
+		t.Error("DirectSource changed at Salt=0")
+	}
+	if !strings.Contains(a, "ix*3 + iy*7") {
+		t.Error("canonical direct body drifted")
+	}
+	c := workload.Inner3DSource(workload.Inner3DParams{M: 4, NY: 8, SZ: 4, NP: 2})
+	if !strings.Contains(c, "inode*3)*(im - iy)") {
+		t.Error("canonical inner3d body drifted")
+	}
+	d := workload.IndirectSource(workload.IndirectParams{N: 8, NP: 4})
+	if !strings.Contains(d, "i*1000 + iy*10 + me") {
+		t.Error("canonical indirect body drifted")
+	}
+}

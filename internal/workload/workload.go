@@ -21,11 +21,26 @@ type DirectParams struct {
 	Outer  int // outer iterations (each ends in an ALLTOALL)
 	NP     int
 	Weight int // extra arithmetic per element (compute intensity)
+	// Salt deterministically perturbs the kernel's constant coefficients so
+	// a corpus of scenarios exercises distinct data; 0 keeps the canonical
+	// body (the golden fixtures). Negative values are folded to positive.
+	Salt int64
+}
+
+// absSalt folds a salt to non-negative so coefficient arithmetic never
+// renders a negative literal (which the Fortran subset cannot parse in
+// multiplication position).
+func absSalt(s int64) int64 {
+	if s < 0 {
+		return -s
+	}
+	return s
 }
 
 // DirectSource renders the kernel.
 func DirectSource(p DirectParams) string {
-	rhs := "ix*3 + iy*7"
+	salt := absSalt(p.Salt)
+	rhs := fmt.Sprintf("ix*%d + iy*%d", 3+salt%11, 7+(salt/11)%13)
 	for w := 0; w < p.Weight; w++ {
 		rhs = fmt.Sprintf("(%s) + mod(ix*%d + iy, 13) - mod(ix + iy*%d, 7)", rhs, w+2, w+3)
 	}
@@ -63,11 +78,12 @@ type Inner3DParams struct {
 	SZ     int // last (partitioned) dimension; divisible by NP
 	NP     int
 	Weight int
+	Salt   int64 // deterministic coefficient perturbation; 0 = canonical
 }
 
 // Inner3DSource renders the kernel.
 func Inner3DSource(p Inner3DParams) string {
-	rhs := "me + (im*iy + inode*3)*(im - iy)"
+	rhs := fmt.Sprintf("me + (im*iy + inode*%d)*(im - iy)", 3+absSalt(p.Salt)%17)
 	for w := 0; w < p.Weight; w++ {
 		rhs = fmt.Sprintf("(%s) + mod(im*%d + iy + inode, 17)*(im - %d)", rhs, w+2, w+1)
 	}
@@ -111,11 +127,13 @@ type IndirectParams struct {
 	N      int // As is N×N×N; N divisible by NP
 	NP     int
 	Weight int
+	Salt   int64 // deterministic coefficient perturbation; 0 = canonical
 }
 
 // IndirectSource renders the kernel.
 func IndirectSource(p IndirectParams) string {
-	rhs := "i*1000 + iy*10 + me"
+	salt := absSalt(p.Salt)
+	rhs := fmt.Sprintf("i*%d + iy*%d + me", 1000+salt%97, 10+(salt/97)%7)
 	for w := 0; w < p.Weight; w++ {
 		rhs = fmt.Sprintf("(%s) + mod(i*%d + iy, 19)*(i - iy)", rhs, w+2)
 	}

@@ -1,0 +1,22 @@
+
+program direct
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: nx = 64
+  integer, parameter :: np = 8
+  integer as(1:nx)
+  integer ar(1:nx)
+  integer ix, iy, ierr, checksum
+
+  call mpi_init(ierr)
+  checksum = 0
+  do iy = 1, 4
+    do ix = 1, nx
+      as(ix) = ix*3 + iy*7
+    enddo
+    call mpi_alltoall(as, nx/np, mpi_integer, ar, nx/np, mpi_integer, mpi_comm_world, ierr)
+    checksum = checksum + ar(1) + ar(nx)
+  enddo
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program direct

@@ -1,0 +1,82 @@
+program indirect
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: n = 8
+  integer, parameter :: np = 4
+  integer as(1:n, 1:n, 1:n)
+  integer ar(1:n, 1:n, 1:n)
+  integer at(1:64, 1:2)
+  integer iy, ix, tx, ty, ierr, me, checksum
+  integer cc_me, cc_np, cc_ierr, cc_nreq, cc_tile, cc_lo, cc_to, cc_from, cc_j, cc_off, cc_buf, cc_b
+  integer cc_c1, cc_c2
+  integer cc_reqs(1:4)
+
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  ! pre-push setup (inserted by compuniformer)
+  call mpi_comm_rank(mpi_comm_world, cc_me, cc_ierr)
+  call mpi_comm_size(mpi_comm_world, cc_np, cc_ierr)
+  cc_nreq = 0
+  cc_tile = 0
+  do iy = 1, n
+    ! wait for the previous tile before refilling the temporary
+    if (mod(iy - 1, 2) == 0) then
+      if (cc_nreq > 0) then
+        call mpi_waitall(cc_nreq, cc_reqs, mpi_statuses_ignore, cc_ierr)
+        cc_nreq = 0
+      endif
+    endif
+    cc_buf = mod(iy - 1, 2) + 1
+    call p(iy, me, at(1, cc_buf))
+    ! redundant copy loop removed by compuniformer
+    if (mod(iy, 2) == 0) then
+      ! pre-push tile exchange of the temporary (inserted by compuniformer)
+      cc_lo = iy - 1
+      cc_tile = cc_tile + 1
+      cc_to = (cc_lo - 1) / 2
+      cc_off = cc_lo - 1 - cc_to * 2
+      if (cc_to /= cc_me) then
+        cc_nreq = cc_nreq + 1
+        call mpi_isend(at(1, 1), 128, mpi_integer, cc_to, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
+      else
+        do cc_j = 1, cc_np - 1
+          cc_from = mod(cc_np + cc_me - cc_j, cc_np)
+          cc_nreq = cc_nreq + 1
+          call mpi_irecv(ar(1, 1, 1 + cc_from * 2 + cc_off), 128, mpi_integer, cc_from, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
+        enddo
+        ! local copy of this rank's own planes from the temporary
+        do cc_b = 1, 2
+          do cc_c1 = 1, 8
+            do cc_c2 = 1, 8
+              ar(cc_c1, cc_c2, 1 + cc_me * 2 + cc_off + (cc_b - 1)) = at(1 + (cc_c1 - 1) + (cc_c2 - 1) * 8, cc_b)
+            enddo
+          enddo
+        enddo
+      endif
+    endif
+  enddo
+  ! drain the last tile's communication (inserted by compuniformer)
+  if (cc_nreq > 0) then
+    call mpi_waitall(cc_nreq, cc_reqs, mpi_statuses_ignore, cc_ierr)
+    cc_nreq = 0
+  endif
+  ! original mpi_alltoall removed by compuniformer
+  checksum = 0
+  do iy = 1, n
+    do ix = 1, n
+      checksum = checksum + ar(ix, iy, 1) * ix + ar(iy, ix, n / 2)
+    enddo
+  enddo
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program indirect
+
+subroutine p(iy, me, at)
+  integer iy, me
+  integer at(*)
+  integer i
+
+  do i = 1, 64
+    at(i) = i * 1000 + iy * 10 + me
+  enddo
+end subroutine p

@@ -1,0 +1,40 @@
+
+program indirect
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: n = 8
+  integer, parameter :: np = 4
+  integer as(1:n, 1:n, 1:n)
+  integer ar(1:n, 1:n, 1:n)
+  integer at(1:64)
+  integer iy, ix, tx, ty, ierr, me, checksum
+
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do iy = 1, n
+    call p(iy, me, at)
+    do ix = 1, 64
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1)/n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, 128, mpi_integer, ar, 128, mpi_integer, mpi_comm_world, ierr)
+  checksum = 0
+  do iy = 1, n
+    do ix = 1, n
+      checksum = checksum + ar(ix, iy, 1)*ix + ar(iy, ix, n/2)
+    enddo
+  enddo
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program indirect
+
+subroutine p(iy, me, at)
+  integer iy, me
+  integer at(*)
+  integer i
+  do i = 1, 64
+    at(i) = i*1000 + iy*10 + me
+  enddo
+end subroutine p

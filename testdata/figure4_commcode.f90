@@ -1,0 +1,16 @@
+    if (mod(iy, 4) == 0) then
+      ! pre-push tile exchange (inserted by compuniformer)
+      cc_lo = iy - 3
+      cc_tile = cc_tile + 1
+      do cc_j = 1, cc_np - 1
+        cc_to = mod(cc_me + cc_j, cc_np)
+        do cc_b3 = 1 + cc_to * 2, 1 + cc_to * 2 + 1
+          cc_nreq = cc_nreq + 1
+          call mpi_isend(as(1, cc_lo, cc_b3), 16, mpi_integer, cc_to, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
+        enddo
+        cc_from = mod(cc_np + cc_me - cc_j, cc_np)
+        do cc_b3 = 1 + cc_from * 2, 1 + cc_from * 2 + 1
+          cc_nreq = cc_nreq + 1
+          call mpi_irecv(ar(1, cc_lo, cc_b3), 16, mpi_integer, cc_from, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
+        enddo
+      enddo
