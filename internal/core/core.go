@@ -136,6 +136,52 @@ func Transform(src string, opts Options) (string, *Report, error) {
 	return ftn.Print(file), report, nil
 }
 
+// Retiler re-applies the transformation to one source at different tile
+// sizes without re-parsing it: the file is parsed once, every requested K
+// transforms a fresh clone of that AST, and outcomes are memoized per K so
+// a tuning search can revisit a candidate for free. The K of the Options
+// passed at construction is ignored; everything else (NP, oracle, wait
+// schedule, interchange gate) applies to every retile.
+type Retiler struct {
+	file *ftn.File
+	opts Options
+	memo map[int64]retiled
+}
+
+type retiled struct {
+	src string
+	rep *Report
+	err error
+}
+
+// NewRetiler parses src once for subsequent Retile calls.
+func NewRetiler(src string, opts Options) (*Retiler, error) {
+	file, err := ftn.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Retiler{file: file, opts: opts, memo: map[int64]retiled{}}, nil
+}
+
+// Retile transforms the parsed program at tile size k. Like Transform, a
+// site that cannot be transformed at this K is reported (TransformedCount
+// 0), not an error.
+func (rt *Retiler) Retile(k int64) (string, *Report, error) {
+	if r, ok := rt.memo[k]; ok {
+		return r.src, r.rep, r.err
+	}
+	clone := ftn.CloneFile(rt.file)
+	opts := rt.opts
+	opts.K = k
+	rep, err := TransformFile(clone, opts)
+	r := retiled{rep: rep, err: err}
+	if err == nil {
+		r.src = ftn.Print(clone)
+	}
+	rt.memo[k] = r
+	return r.src, r.rep, r.err
+}
+
 // TransformFile rewrites the AST in place.
 func TransformFile(file *ftn.File, opts Options) (*Report, error) {
 	if opts.K <= 0 {

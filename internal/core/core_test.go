@@ -255,3 +255,60 @@ func TestIdempotentParsePrint(t *testing.T) {
 		}
 	}
 }
+
+// TestRetilerMatchesTransform: retiling at K must produce exactly what a
+// fresh Transform at that K produces, for every K the transform accepts —
+// the property the tuner's pipeline reuse depends on.
+func TestRetilerMatchesTransform(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	rt, err := core.NewRetiler(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{2, 4, 8} {
+		got, grep, err := rt.Retile(k)
+		if err != nil {
+			t.Fatalf("retile K=%d: %v", k, err)
+		}
+		want, wrep, err := core.Transform(src, core.Options{K: k})
+		if err != nil {
+			t.Fatalf("transform K=%d: %v", k, err)
+		}
+		if got != want {
+			t.Errorf("K=%d: retiled source differs from Transform output", k)
+		}
+		if grep.TransformedCount() != wrep.TransformedCount() {
+			t.Errorf("K=%d: transformed %d sites, want %d", k, grep.TransformedCount(), wrep.TransformedCount())
+		}
+	}
+	// Memoization: the same K returns the identical report pointer.
+	_, r1, _ := rt.Retile(4)
+	_, r2, _ := rt.Retile(4)
+	if r1 != r2 {
+		t.Error("retile memo did not hit on repeated K")
+	}
+}
+
+// TestRetilerRejectsBadK: a K the transformation cannot honor is reported,
+// not fatal, and does not poison other Ks.
+func TestRetilerRejectsBadK(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90") // psz = 8
+	rt, err := core.NewRetiler(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := rt.Retile(3) // does not divide the partition size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransformedCount() != 0 {
+		t.Error("K=3 should not transform (does not divide psz)")
+	}
+	_, rep, err = rt.Retile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransformedCount() != 1 {
+		t.Errorf("K=8 should transform after a rejected K:\n%s", rep)
+	}
+}

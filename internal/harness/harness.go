@@ -21,11 +21,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/netsim"
+	"repro/internal/tune"
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout.
-const Schema = "repro/bench-harness/v1"
+// Schema identifies the JSON artifact layout. v2 adds the tuned-mode fields
+// (per-scenario chosen K and tuned speedup, per-profile summary rows with
+// the offload flag) and the non-positive-speedup counters.
+const Schema = "repro/bench-harness/v2"
 
 // Config parameterizes one sweep.
 type Config struct {
@@ -44,6 +47,13 @@ type Config struct {
 	// every corpus kernel exposes. The send array is excluded because the
 	// indirect transformation legally makes it dead (§3.4).
 	Arrays []string
+	// Tune enables the per-(scenario, profile) tile-size search: next to
+	// the fixed-K measurement, internal/tune picks K automatically and the
+	// outcome records the chosen K, the tuned speedup, and the search cost.
+	Tune bool
+	// TuneMaxMeasured caps measured candidates per (scenario, profile);
+	// <= 0 selects tune.DefaultMaxMeasured.
+	TuneMaxMeasured int
 }
 
 // ProfileRun is one (scenario, profile) differential measurement.
@@ -85,6 +95,25 @@ type Outcome struct {
 	Err       string `json:"error,omitempty"`
 
 	Profiles []ProfileRun `json:"profiles"`
+
+	// Tuned holds the per-profile tile-size search results (tuned mode
+	// only): chosen K, tuned speedup, and search cost.
+	Tuned []TunedRun `json:"tuned,omitempty"`
+}
+
+// TunedRun is one (scenario, profile) auto-tuning result. Every candidate
+// the search measured passed the same bit-identical oracle as the fixed-K
+// run; the chosen K is always at least as fast as the fixed K.
+type TunedRun struct {
+	Profile      string  `json:"profile"`
+	Offload      bool    `json:"offload"`
+	ChosenK      int64   `json:"chosen_k"`
+	TunedSpeedup float64 `json:"tuned_speedup"`
+	TunedNs      int64   `json:"tuned_prepush_ns"`
+	FixedSpeedup float64 `json:"fixed_speedup"`
+	// Search cost: measured pre-push runs and the simulated time they took.
+	Evaluations int   `json:"evaluations"`
+	SearchSimNs int64 `json:"search_sim_ns"`
 }
 
 // Summary aggregates a sweep.
@@ -95,9 +124,31 @@ type Summary struct {
 	// GeomeanSpeedup maps profile name → geometric-mean original/prepush
 	// makespan ratio over clean scenarios (error-free AND oracle-passing).
 	GeomeanSpeedup map[string]float64 `json:"geomean_speedup"`
+	// PerProfile carries the per-profile aggregates with the facts gates
+	// need (the offload flag, tuned geomeans, pathology counters), sorted
+	// by profile name.
+	PerProfile []ProfileSummary `json:"per_profile"`
+	// NonPositive counts (scenario, profile) measurements with a
+	// non-positive speedup — a zero or negative makespan pathology. Such
+	// entries are excluded from the geomeans but must fail the run: silently
+	// dropping them would inflate the aggregate.
+	NonPositive int `json:"non_positive_speedups"`
 	// OffloadGained counts clean scenarios (once each) whose prepush run
 	// is at least as fast as the original on some offload profile.
 	OffloadGained int `json:"offload_gained"`
+}
+
+// ProfileSummary is one profile's aggregate row.
+type ProfileSummary struct {
+	Profile string `json:"profile"`
+	// Offload is taken from the measured profile runs, so gates can key on
+	// the stack's capability instead of hard-coding profile names.
+	Offload bool    `json:"offload"`
+	Geomean float64 `json:"geomean_speedup"`
+	// TunedGeomean is the geometric-mean tuned speedup (tuned mode only).
+	TunedGeomean float64 `json:"tuned_geomean_speedup,omitempty"`
+	// NonPositive counts this profile's non-positive speedup measurements.
+	NonPositive int `json:"non_positive_speedups"`
 }
 
 // Report is the sweep artifact (marshalled to BENCH_harness.json).
@@ -142,7 +193,7 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outcomes[i] = runScenario(scenarios[i], profiles, arrays)
+				outcomes[i] = runScenario(scenarios[i], profiles, arrays, cfg)
 			}
 		}()
 	}
@@ -158,7 +209,7 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // runScenario executes the full differential chain for one scenario.
-func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []string) Outcome {
+func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []string, cfg Config) Outcome {
 	out := Outcome{
 		Name: sc.Name, Family: sc.Family, NP: sc.NP, K: sc.K, Seed: sc.Seed,
 		PairBytes: sc.PairBytes, Regime: sc.Regime,
@@ -223,14 +274,46 @@ func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []strin
 			}
 		}
 	}
+
+	// Tuned mode: search K per profile next to the fixed-K measurement.
+	if cfg.Tune && out.Identical {
+		choices, err := tune.Tune(
+			tune.Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles},
+			tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: arrays, Costs: sc.Costs},
+		)
+		if err != nil {
+			return fail("tune: %v", err)
+		}
+		for _, c := range choices {
+			out.Tuned = append(out.Tuned, TunedRun{
+				Profile: c.Profile, Offload: c.Offload,
+				ChosenK: c.ChosenK, TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
+				FixedSpeedup: c.FixedSpeedup,
+				Evaluations:  c.Evaluations, SearchSimNs: c.SearchSimNs,
+			})
+		}
+	}
 	return out
 }
 
 // summarize folds outcomes into the aggregate verdicts.
 func summarize(outcomes []Outcome) Summary {
 	s := Summary{Scenarios: len(outcomes), GeomeanSpeedup: map[string]float64{}}
-	logSum := map[string]float64{}
-	cnt := map[string]int{}
+	type agg struct {
+		offload             bool
+		logSum, tunedLogSum float64
+		cnt, tunedCnt       int
+		nonPositive         int
+	}
+	aggs := map[string]*agg{}
+	aggFor := func(name string, offload bool) *agg {
+		a := aggs[name]
+		if a == nil {
+			a = &agg{offload: offload}
+			aggs[name] = a
+		}
+		return a
+	}
 	for _, o := range outcomes {
 		if o.Err != "" {
 			s.Errors++
@@ -245,20 +328,51 @@ func summarize(outcomes []Outcome) Summary {
 		s.Correct++
 		gained := false
 		for _, pr := range o.Profiles {
+			a := aggFor(pr.Profile, pr.Offload)
 			if pr.Speedup > 0 {
-				logSum[pr.Profile] += math.Log(pr.Speedup)
-				cnt[pr.Profile]++
+				a.logSum += math.Log(pr.Speedup)
+				a.cnt++
+			} else {
+				// A zero or negative speedup is a timing pathology. It is
+				// excluded from the geomean, but counted and surfaced so it
+				// fails the run instead of silently inflating the aggregate.
+				a.nonPositive++
+				s.NonPositive++
 			}
 			if pr.Offload && pr.Speedup >= 1.0 {
 				gained = true
+			}
+		}
+		for _, tr := range o.Tuned {
+			a := aggFor(tr.Profile, tr.Offload)
+			if tr.TunedSpeedup > 0 {
+				a.tunedLogSum += math.Log(tr.TunedSpeedup)
+				a.tunedCnt++
+			} else {
+				a.nonPositive++
+				s.NonPositive++
 			}
 		}
 		if gained {
 			s.OffloadGained++
 		}
 	}
-	for name, ls := range logSum {
-		s.GeomeanSpeedup[name] = math.Exp(ls / float64(cnt[name]))
+	var names []string
+	for name := range aggs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := aggs[name]
+		ps := ProfileSummary{Profile: name, Offload: a.offload, NonPositive: a.nonPositive}
+		if a.cnt > 0 {
+			ps.Geomean = math.Exp(a.logSum / float64(a.cnt))
+			s.GeomeanSpeedup[name] = ps.Geomean
+		}
+		if a.tunedCnt > 0 {
+			ps.TunedGeomean = math.Exp(a.tunedLogSum / float64(a.tunedCnt))
+		}
+		s.PerProfile = append(s.PerProfile, ps)
 	}
 	return s
 }
@@ -273,11 +387,23 @@ func (r *Report) WriteJSON(path string) error {
 }
 
 // Table renders the per-scenario results as an aligned text table, profiles
-// sorted as configured, scenarios in corpus order.
+// sorted as configured, scenarios in corpus order. In tuned mode two extra
+// columns show the chosen K and the tuned speedup.
 func (r *Report) Table() string {
+	tuned := false
+	for _, o := range r.Scenarios {
+		if len(o.Tuned) > 0 {
+			tuned = true
+			break
+		}
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-34s %-10s %6s %5s  %-10s %12s %12s %8s  %s\n",
-		"scenario", "regime", "np", "K", "profile", "original", "prepush", "speedup", "oracle")
+	fmt.Fprintf(&sb, "%-34s %-10s %6s %5s  %-10s %12s %12s %8s",
+		"scenario", "regime", "np", "K", "profile", "original", "prepush", "speedup")
+	if tuned {
+		fmt.Fprintf(&sb, " %7s %7s", "tunedK", "tuned")
+	}
+	fmt.Fprintf(&sb, "  %s\n", "oracle")
 	for _, o := range r.Scenarios {
 		if o.Err != "" {
 			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  ERROR: %s\n", o.Name, o.Regime, o.NP, o.K, o.Err)
@@ -293,20 +419,44 @@ func (r *Report) Table() string {
 			if i > 0 {
 				name, regime, v = "", "", ""
 			}
-			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  %-10s %12s %12s %8.2f  %s\n",
+			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  %-10s %12s %12s %8.2f",
 				name, regime, o.NP, o.K, pr.Profile,
-				netsim.Time(pr.OriginalNs), netsim.Time(pr.PrepushNs), pr.Speedup, v)
+				netsim.Time(pr.OriginalNs), netsim.Time(pr.PrepushNs), pr.Speedup)
+			if tuned {
+				if tr := o.tunedFor(pr.Profile); tr != nil {
+					fmt.Fprintf(&sb, " %7d %7.2f", tr.ChosenK, tr.TunedSpeedup)
+				} else {
+					fmt.Fprintf(&sb, " %7s %7s", "-", "-")
+				}
+			}
+			fmt.Fprintf(&sb, "  %s\n", v)
 		}
 	}
-	var profs []string
-	for p := range r.Summary.GeomeanSpeedup {
-		profs = append(profs, p)
-	}
-	sort.Strings(profs)
 	fmt.Fprintf(&sb, "\n%d scenarios, %d identical, %d errors\n",
 		r.Summary.Scenarios, r.Summary.Correct, r.Summary.Errors)
-	for _, p := range profs {
-		fmt.Fprintf(&sb, "geomean speedup %-10s %.3f\n", p, r.Summary.GeomeanSpeedup[p])
+	if r.Summary.NonPositive > 0 {
+		fmt.Fprintf(&sb, "WARNING: %d non-positive speedup measurement(s) excluded from geomeans\n",
+			r.Summary.NonPositive)
+	}
+	for _, ps := range r.Summary.PerProfile {
+		fmt.Fprintf(&sb, "geomean speedup %-10s %.3f", ps.Profile, ps.Geomean)
+		if ps.TunedGeomean > 0 {
+			fmt.Fprintf(&sb, "   tuned %.3f", ps.TunedGeomean)
+		}
+		if ps.Offload {
+			fmt.Fprintf(&sb, "   (offload)")
+		}
+		fmt.Fprintf(&sb, "\n")
 	}
 	return sb.String()
+}
+
+// tunedFor returns the tuned result for the named profile, or nil.
+func (o *Outcome) tunedFor(profile string) *TunedRun {
+	for i := range o.Tuned {
+		if o.Tuned[i].Profile == profile {
+			return &o.Tuned[i]
+		}
+	}
+	return nil
 }

@@ -125,7 +125,7 @@ func TestCorpusShape(t *testing.T) {
 			t.Errorf("%s: np=%d", sc.Name, sc.NP)
 		}
 	}
-	for _, f := range []string{"direct", "inner3d", "indirect", "fft", "lu", "sort"} {
+	for _, f := range []string{"direct", "inner3d", "indirect", "fft", "lu", "sort", "ragged"} {
 		if families[f] == 0 {
 			t.Errorf("family %s missing from corpus", f)
 		}
@@ -161,6 +161,121 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.HasSuffix(string(b), "\n") {
 		t.Error("artifact should end with a newline")
+	}
+}
+
+// TestLeftoverScenariosExerciseStep3: the ragged family must actually take
+// the §3.6 step-3 leftover path (K does not divide the tiled extent) and
+// still pass the oracle end-to-end.
+func TestLeftoverScenariosExerciseStep3(t *testing.T) {
+	var ragged []workload.Scenario
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
+		if sc.Family == "ragged" {
+			ragged = append(ragged, sc)
+		}
+	}
+	if len(ragged) < 3 {
+		t.Fatalf("only %d ragged scenarios, want ≥ 3", len(ragged))
+	}
+	rep, err := Run(Config{Scenarios: ragged[:3], Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Correct != 3 || rep.Summary.Errors != 0 {
+		t.Fatalf("ragged scenarios failed:\n%s", rep.Table())
+	}
+}
+
+// TestTunedSweep: tuned mode attaches per-profile choices to every clean
+// scenario, never loses to the fixed K, and fills the per-profile summary.
+func TestTunedSweep(t *testing.T) {
+	rep, err := Run(Config{Scenarios: smallCorpus(t, 3), Parallelism: 3, Tune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 0 || rep.Summary.Correct != 3 {
+		t.Fatalf("tuned sweep failed:\n%s", rep.Table())
+	}
+	for _, o := range rep.Scenarios {
+		if len(o.Tuned) != len(o.Profiles) {
+			t.Fatalf("%s: %d tuned entries for %d profiles", o.Name, len(o.Tuned), len(o.Profiles))
+		}
+		for i, tr := range o.Tuned {
+			pr := o.Profiles[i]
+			if tr.Profile != pr.Profile || tr.Offload != pr.Offload {
+				t.Errorf("%s: tuned row %d mismatched profile metadata", o.Name, i)
+			}
+			if tr.ChosenK < 1 {
+				t.Errorf("%s/%s: chosen K=%d", o.Name, tr.Profile, tr.ChosenK)
+			}
+			if tr.TunedSpeedup+1e-12 < pr.Speedup {
+				t.Errorf("%s/%s: tuned speedup %.4f below fixed %.4f",
+					o.Name, tr.Profile, tr.TunedSpeedup, pr.Speedup)
+			}
+			if tr.Evaluations < 1 || tr.SearchSimNs <= 0 {
+				t.Errorf("%s/%s: search cost not recorded (%d evals, %d sim ns)",
+					o.Name, tr.Profile, tr.Evaluations, tr.SearchSimNs)
+			}
+		}
+	}
+	for _, ps := range rep.Summary.PerProfile {
+		if ps.TunedGeomean <= 0 {
+			t.Errorf("profile %s: tuned geomean missing", ps.Profile)
+		}
+		if ps.TunedGeomean+1e-12 < ps.Geomean {
+			t.Errorf("profile %s: tuned geomean %.4f below fixed %.4f",
+				ps.Profile, ps.TunedGeomean, ps.Geomean)
+		}
+	}
+	if !strings.Contains(rep.Table(), "tunedK") {
+		t.Error("tuned table missing the chosen-K column")
+	}
+}
+
+// TestSummaryCountsNonPositiveSpeedups: a zero-speedup pathology must be
+// counted and surfaced, not silently dropped from the geomean.
+func TestSummaryCountsNonPositiveSpeedups(t *testing.T) {
+	outcomes := []Outcome{
+		{
+			Name: "a", Identical: true,
+			Profiles: []ProfileRun{
+				{Profile: "p", Offload: true, Speedup: 2.0},
+				{Profile: "q", Speedup: 0},
+			},
+		},
+		{
+			Name: "b", Identical: true,
+			Profiles: []ProfileRun{
+				{Profile: "p", Offload: true, Speedup: 0.5},
+				{Profile: "q", Speedup: -1},
+			},
+			Tuned: []TunedRun{{Profile: "q", TunedSpeedup: 0}},
+		},
+	}
+	s := summarize(outcomes)
+	if s.NonPositive != 3 {
+		t.Errorf("NonPositive = %d, want 3", s.NonPositive)
+	}
+	var p, q *ProfileSummary
+	for i := range s.PerProfile {
+		switch s.PerProfile[i].Profile {
+		case "p":
+			p = &s.PerProfile[i]
+		case "q":
+			q = &s.PerProfile[i]
+		}
+	}
+	if p == nil || q == nil {
+		t.Fatalf("per-profile rows missing: %+v", s.PerProfile)
+	}
+	if !p.Offload || q.Offload {
+		t.Error("offload flags not carried into the per-profile summary")
+	}
+	if p.NonPositive != 0 || q.NonPositive != 3 {
+		t.Errorf("per-profile NonPositive = %d/%d, want 0/3", p.NonPositive, q.NonPositive)
+	}
+	if p.Geomean != 1.0 {
+		t.Errorf("geomean(2.0, 0.5) = %v, want 1.0", p.Geomean)
 	}
 }
 

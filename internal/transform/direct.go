@@ -159,59 +159,32 @@ func (rw *rewriter) directOutermost() error {
 		return failf(pos, "a tile does not cover the leading dimensions of %s fully (region %s)", op.Call.As, region)
 	}
 
-	// Generated code. Names for the self-copy loops.
-	var prefixVars []string
-	for d := 0; d < rank-1; d++ {
-		prefixVars = append(prefixVars, rw.fresh.Fresh(fmt.Sprintf("cc_c%d", d+1)))
-	}
-	vI := rw.fresh.Fresh("cc_i")
-
-	countExpr := ftn.Mul(productExpr(op.AsDims[:rank-1]), ftn.Int(rw.k))
-
-	// Index expression builders: prefix dims at their array lower bounds
-	// for buffer starts; last dim per role.
-	bufStart := func(array string, lastIdx ftn.Expr) *ftn.Ref {
-		r := ftn.Call(array)
-		for d := 0; d < rank-1; d++ {
-			r.Args = append(r.Args, affineToExpr(op.AsDims[d].Lo))
-		}
-		r.Args = append(r.Args, lastIdx)
-		return r
-	}
-	// Element refs for the self copy, indexed by the loop variables.
-	elemRef := func(array string, lastIdx ftn.Expr) *ftn.Ref {
-		r := ftn.Call(array)
-		for d := 0; d < rank-1; d++ {
-			r.Args = append(r.Args, ftn.Id(prefixVars[d]))
-		}
-		r.Args = append(r.Args, lastIdx)
-		return r
+	// Staggered schedule (the Fig. 4 idea applied across tiles): when the
+	// tiled loop's iterations are provably order-independent, each rank
+	// traverses the partitions in ring order starting at me+1 — so at any
+	// moment the np ranks are computing (and sending) tiles owned by np
+	// distinct owners instead of all hammering the same owner, and every
+	// rank ends on its own partition's self copy, leaving no communication
+	// tail. The paper's literal per-tile wait keeps the original owner
+	// order (its wait structure assumes it).
+	if !rw.opts.PerTileWait &&
+		len(op.Nest.ByArray[op.Call.Ar]) == 0 &&
+		tileReorderSafe(op.Nest.Refs, op.Unit.Body, op.L, op.Arrays, op.Consts) {
+		return rw.directOutermostStaggered(lo0, cOff, n)
 	}
 
-	// cc_lo holds the tile's starting LAST-DIMENSION index (iteration start
-	// plus the constant subscript offset).
-	tileStartIdx := ftn.Id(rw.vLo)
+	// Generated code: the builders shared with the staggered schedule.
+	g := rw.newSubsetCodegen()
 
-	// Self copy: ar(..., lastLo + me*psz + off + i) = as(..., cc_lo + i).
-	selfDst := ftn.Add(ftn.Add(rw.partitionStart(ftn.Id(rw.vMe)), ftn.Id(rw.vOff)), ftn.Id(vI))
-	selfSrc := ftn.Add(tileStartIdx, ftn.Id(vI))
-	var selfCopy ftn.Stmt = doLoop(vI, ftn.Int(0), ftn.Int(rw.k-1), []ftn.Stmt{
-		assignRef(elemRef(op.Call.Ar, selfDst), elemRef(op.Call.As, selfSrc)),
-	})
-	for d := rank - 2; d >= 0; d-- {
-		selfCopy = doLoop(prefixVars[d], affineToExpr(op.AsDims[d].Lo), affineToExpr(op.AsDims[d].Hi), []ftn.Stmt{selfCopy})
-	}
-
-	recvStart := ftn.Add(rw.partitionStart(ftn.Id(rw.vFrom)), ftn.Id(rw.vOff))
 	recvLoop := doLoop(rw.vJ, ftn.Int(1), ftn.Sub(ftn.Id(rw.vNp), ftn.Int(1)), append(
 		[]ftn.Stmt{assign(rw.vFrom, rw.ringPeer(false))},
-		rw.irecv(bufStart(op.Call.Ar, recvStart), ftn.CloneExpr(countExpr), ftn.Id(rw.vFrom))...,
+		rw.irecv(g.bufStart(op.Call.Ar, g.recvStart()), g.count(), ftn.Id(rw.vFrom))...,
 	))
 
 	sendOrRecv := &ftn.IfStmt{
 		Cond: ftn.Bin("/=", ftn.Id(rw.vTo), ftn.Id(rw.vMe)),
-		Then: rw.isend(bufStart(op.Call.As, ftn.CloneExpr(tileStartIdx)), countExpr, ftn.Id(rw.vTo)),
-		Else: []ftn.Stmt{recvLoop, comment("local copy of this rank's own partition block"), selfCopy},
+		Then: rw.isend(g.bufStart(op.Call.As, ftn.Id(rw.vLo)), g.count(), ftn.Id(rw.vTo)),
+		Else: []ftn.Stmt{recvLoop, comment("local copy of this rank's own partition block"), g.selfCopy()},
 	}
 
 	tiles := n / rw.k
@@ -236,9 +209,9 @@ func (rw *rewriter) directOutermost() error {
 	op.L.Body = append(op.L.Body, guard)
 
 	// Declarations and splice.
-	rw.declareInts(rw.vMe, rw.vNp, rw.vIerr, rw.vNreq, rw.vTile, rw.vLo, rw.vTo, rw.vFrom, rw.vJ, rw.vOff, vI)
-	if len(prefixVars) > 0 {
-		rw.declareInts(prefixVars...)
+	rw.declareInts(rw.vMe, rw.vNp, rw.vIerr, rw.vNreq, rw.vTile, rw.vLo, rw.vTo, rw.vFrom, rw.vJ, rw.vOff, g.vI)
+	if len(g.prefixVars) > 0 {
+		rw.declareInts(g.prefixVars...)
 	}
 	if rw.opts.PerTileWait {
 		rw.declareReqArray(rw.np)
@@ -255,8 +228,179 @@ func (rw *rewriter) directOutermost() error {
 	rw.res.TileCount = n / rw.k
 	rw.res.Leftover = n % rw.k // always 0 under the divisibility checks
 	rw.res.MessagesTile = rw.np - 1
+	rw.res.TileMsgElems = rw.numericElems(op.AsDims[:rank-1]) * rw.k
 	rw.res.Notes = append(rw.res.Notes, "subset-send schedule: one owner per tile (congestion caveat, §3.5)")
 	return nil
+}
+
+// directOutermostStaggered emits the reordered subset-send schedule: the
+// tiled loop (which traverses the last dimension, one partition owner per
+// tile) is restructured so each rank visits the partitions in ring order
+// starting at me+1 and finishing with its own. All receives are pre-posted
+// before the loop (legal: Ar is unused inside ℓ), tagged by absolute tile
+// index, so rendezvous transfers start the moment the sender's data is
+// ready. Callers have already validated bounds, divisibility, and tile
+// order independence.
+func (rw *rewriter) directOutermostStaggered(lo0, cOff, n int64) error {
+	op := rw.op
+	chain := op.Nest.Loops
+	tiled := chain[0]
+	tpp := rw.psz / rw.k // tiles per partition
+
+	g := rw.newSubsetCodegen()
+	vPo := rw.fresh.Fresh("cc_po") // position in the ring traversal
+	vTt := rw.fresh.Fresh("cc_tt") // tile within the partition
+	vIt := rw.fresh.Fresh("cc_it") // first iteration of the tile
+
+	// Restructure ℓ: the original loop body moves into an inner DO covering
+	// one tile; ℓ itself becomes the ring-position loop.
+	innerDo := &ftn.DoStmt{
+		Var:  tiled.Var,
+		Lo:   ftn.Id(vIt),
+		Hi:   ftn.Add(ftn.Id(vIt), ftn.Int(rw.k-1)),
+		Body: op.L.Body,
+	}
+	sendOrCopy := &ftn.IfStmt{
+		Cond: ftn.Bin("/=", ftn.Id(rw.vTo), ftn.Id(rw.vMe)),
+		Then: rw.isend(g.bufStart(op.Call.As, ftn.Id(rw.vLo)), g.count(), ftn.Id(rw.vTo)),
+		Else: []ftn.Stmt{comment("local copy of this rank's own partition block"), g.selfCopy()},
+	}
+	tileLoop := doLoop(vTt, ftn.Int(0), ftn.Int(tpp-1), []ftn.Stmt{
+		comment("staggered subset-send traversal (inserted by compuniformer)"),
+		// Absolute tile index (also the message tag) and its bounds.
+		assign(rw.vTile, ftn.Add(ftn.Mul(ftn.Id(rw.vTo), ftn.Int(tpp)), ftn.Id(vTt))),
+		assign(vIt, ftn.Add(ftn.Int(lo0), ftn.Mul(ftn.Id(rw.vTile), ftn.Int(rw.k)))),
+		assign(rw.vLo, ftn.Add(ftn.Id(vIt), ftn.Int(cOff))),
+		innerDo,
+		assign(rw.vOff, ftn.Mul(ftn.Id(vTt), ftn.Int(rw.k))),
+		sendOrCopy,
+	})
+	op.L.Var = vPo
+	op.L.Lo = ftn.Int(1)
+	op.L.Hi = ftn.Id(rw.vNp)
+	op.L.Step = nil
+	op.L.Body = []ftn.Stmt{
+		// Partition owner handled at this position; position np is me.
+		assign(rw.vTo, ftn.Mod(ftn.Add(ftn.Id(rw.vMe), ftn.Id(vPo)), ftn.Id(rw.vNp))),
+		tileLoop,
+	}
+
+	// Pre-posted receives: every tile of my partition, from every peer, into
+	// the sender's block of Ar, tagged with the absolute tile index.
+	preRecvs := doLoop(vTt, ftn.Int(0), ftn.Int(tpp-1), []ftn.Stmt{
+		assign(rw.vTile, ftn.Add(ftn.Mul(ftn.Id(rw.vMe), ftn.Int(tpp)), ftn.Id(vTt))),
+		assign(rw.vOff, ftn.Mul(ftn.Id(vTt), ftn.Int(rw.k))),
+		doLoop(rw.vJ, ftn.Int(1), ftn.Sub(ftn.Id(rw.vNp), ftn.Int(1)), append(
+			[]ftn.Stmt{assign(rw.vFrom, rw.ringPeer(false))},
+			rw.irecv(g.bufStart(op.Call.Ar, g.recvStart()), g.count(), ftn.Id(rw.vFrom))...,
+		)),
+	})
+	pre := append(rw.preLoopSetup(),
+		comment("pre-post all receives for this rank's partition (staggered schedule)"),
+		preRecvs,
+	)
+	post := []ftn.Stmt{
+		comment("drain the last tile's communication (inserted by compuniformer)"),
+		rw.waitAllBlock(),
+	}
+
+	rw.declareInts(rw.vMe, rw.vNp, rw.vIerr, rw.vNreq, rw.vTile, rw.vLo, rw.vTo, rw.vFrom, rw.vJ, rw.vOff, g.vI, vPo, vTt, vIt)
+	if len(g.prefixVars) > 0 {
+		rw.declareInts(g.prefixVars...)
+	}
+	rw.declareReqArray(2 * (rw.np - 1) * tpp)
+	rw.spliceAroundL(pre, post)
+
+	rw.res.TileCount = n / rw.k
+	rw.res.Leftover = n % rw.k
+	rw.res.MessagesTile = rw.np - 1
+	rw.res.Staggered = true
+	rw.res.TileMsgElems = rw.numericElems(op.AsDims[:len(op.AsDims)-1]) * rw.k
+	rw.res.Notes = append(rw.res.Notes, "staggered subset-send schedule: ring partition order per rank, receives pre-posted (incast fix)")
+	return nil
+}
+
+// subsetCodegen bundles the generated-code builders shared by the
+// owner-ordered and staggered subset-send schedules, so a fix to the
+// buffer-start indexing or the self-copy nest cannot diverge between them.
+type subsetCodegen struct {
+	rw         *rewriter
+	prefixVars []string // self-copy loop variables over the prefix dims
+	vI         string   // self-copy loop variable over the tile
+}
+
+// newSubsetCodegen allocates the fresh names the builders use.
+func (rw *rewriter) newSubsetCodegen() *subsetCodegen {
+	g := &subsetCodegen{rw: rw}
+	for d := 0; d < len(rw.op.AsDims)-1; d++ {
+		g.prefixVars = append(g.prefixVars, rw.fresh.Fresh(fmt.Sprintf("cc_c%d", d+1)))
+	}
+	g.vI = rw.fresh.Fresh("cc_i")
+	return g
+}
+
+// count builds the per-message element count: prefix volume × K.
+func (g *subsetCodegen) count() ftn.Expr {
+	dims := g.rw.op.AsDims
+	return ftn.Mul(productExpr(dims[:len(dims)-1]), ftn.Int(g.rw.k))
+}
+
+// bufStart builds the message start element: prefix dims at their array
+// lower bounds, the last dimension at lastIdx.
+func (g *subsetCodegen) bufStart(array string, lastIdx ftn.Expr) *ftn.Ref {
+	dims := g.rw.op.AsDims
+	r := ftn.Call(array)
+	for d := 0; d < len(dims)-1; d++ {
+		r.Args = append(r.Args, affineToExpr(dims[d].Lo))
+	}
+	r.Args = append(r.Args, lastIdx)
+	return r
+}
+
+// recvStart builds the last-dimension index a peer's tile lands at:
+// lastLo + from*psz + off (the sender's block of Ar).
+func (g *subsetCodegen) recvStart() ftn.Expr {
+	rw := g.rw
+	return ftn.Add(rw.partitionStart(ftn.Id(rw.vFrom)), ftn.Id(rw.vOff))
+}
+
+// selfCopy builds the element-wise copy of this rank's own partition block:
+// ar(..., lastLo + me*psz + off + i) = as(..., cc_lo + i).
+func (g *subsetCodegen) selfCopy() ftn.Stmt {
+	rw := g.rw
+	op := rw.op
+	rank := len(op.AsDims)
+	elemRef := func(array string, lastIdx ftn.Expr) *ftn.Ref {
+		r := ftn.Call(array)
+		for d := 0; d < rank-1; d++ {
+			r.Args = append(r.Args, ftn.Id(g.prefixVars[d]))
+		}
+		r.Args = append(r.Args, lastIdx)
+		return r
+	}
+	selfDst := ftn.Add(ftn.Add(rw.partitionStart(ftn.Id(rw.vMe)), ftn.Id(rw.vOff)), ftn.Id(g.vI))
+	selfSrc := ftn.Add(ftn.Id(rw.vLo), ftn.Id(g.vI))
+	var copy ftn.Stmt = doLoop(g.vI, ftn.Int(0), ftn.Int(rw.k-1), []ftn.Stmt{
+		assignRef(elemRef(op.Call.Ar, selfDst), elemRef(op.Call.As, selfSrc)),
+	})
+	for d := rank - 2; d >= 0; d-- {
+		copy = doLoop(g.prefixVars[d], affineToExpr(op.AsDims[d].Lo), affineToExpr(op.AsDims[d].Hi), []ftn.Stmt{copy})
+	}
+	return copy
+}
+
+// numericElems returns the product of the extents of dims when all are
+// numeric, else 0.
+func (rw *rewriter) numericElems(dims []access.Triplet) int64 {
+	elems := int64(1)
+	for _, d := range dims {
+		ext, ok := d.Extent().Bind(rw.op.Consts).Eval(nil)
+		if !ok {
+			return 0
+		}
+		elems *= ext
+	}
+	return elems
 }
 
 // directInner handles the preferred case: the node loop is inside the tiled
@@ -473,6 +617,7 @@ func (rw *rewriter) directInner() error {
 		rw.res.TileCount = trip / rw.k
 		rw.res.Leftover = trip % rw.k
 	}
+	rw.res.TileMsgElems = rw.numericElems(op.AsDims[:blockDim]) * rw.k
 	rw.res.Notes = append(rw.res.Notes, "all-peers staggered exchange per tile (Fig. 4)")
 	return nil
 }

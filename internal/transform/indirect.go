@@ -162,6 +162,7 @@ func (rw *rewriter) applyIndirect() error {
 	rw.res.TileCount = n / rw.k
 	rw.res.Leftover = n % rw.k
 	rw.res.MessagesTile = rw.np - 1
+	rw.res.TileMsgElems = cl.Count * rw.k
 	rw.res.Notes = append(rw.res.Notes,
 		"copy loop eliminated; temporary expanded with a buffer dimension (double buffering across the tile)")
 	return nil

@@ -269,11 +269,20 @@ end program p
 	if strings.Count(deferred, "call mpi_waitall") != 1 {
 		t.Errorf("deferred variant should have 1 waitall site:\n%s", deferred)
 	}
-	// Request arrays: per-tile reuses np slots; deferred sizes for all tiles.
+	// Request arrays: per-tile reuses np slots; the deferred (staggered)
+	// schedule sizes for a whole execution: 2·(np-1)·(psz/K) = 2·3·2.
 	if !strings.Contains(perTile, "cc_reqs(1:4)") {
 		t.Error("per-tile request array should be np-sized")
 	}
-	if !strings.Contains(deferred, "cc_reqs(1:32)") {
-		t.Errorf("deferred request array should be tiles*np-sized:\n%s", deferred)
+	if !strings.Contains(deferred, "cc_reqs(1:12)") {
+		t.Errorf("deferred request array should be sized for all sends and receives:\n%s", deferred)
+	}
+	// The per-tile (paper-literal) variant keeps the owner-ordered schedule;
+	// the deferred variant staggers the partition traversal by rank.
+	if strings.Contains(perTile, "cc_po") {
+		t.Error("per-tile variant should not use the staggered traversal")
+	}
+	if !strings.Contains(deferred, "cc_to = mod(cc_me + cc_po, cc_np)") {
+		t.Errorf("deferred variant should use the staggered traversal:\n%s", deferred)
 	}
 }

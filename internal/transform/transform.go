@@ -55,8 +55,15 @@ type Result struct {
 	TileCount     int64 // tiles per execution of ℓ
 	Leftover      int64 // iterations not covered by whole tiles
 	MessagesTile  int64 // point-to-point messages posted per tile, per rank
-	Interchanged  bool
-	Notes         []string
+	// TileMsgElems is the element count of one point-to-point message at
+	// this K (0 when not numeric); the tuner's analytic seeding divides it
+	// by K to price candidate tile sizes.
+	TileMsgElems int64
+	// Staggered marks the reordered subset-send schedule (ring partition
+	// order per rank with pre-posted receives) — the incast fix.
+	Staggered    bool
+	Interchanged bool
+	Notes        []string
 }
 
 // rewriter carries the state of one site's transformation.

@@ -310,8 +310,9 @@ func TestTransformedSourceShape(t *testing.T) {
 		"call mpi_isend(as(cc_lo), 4, mpi_integer, cc_to, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)",
 		"call mpi_irecv(ar(1 + cc_from * 8 + cc_off)",
 		"call mpi_waitall(cc_nreq, cc_reqs, mpi_statuses_ignore, cc_ierr)",
-		"if (mod(ix, 4) == 0) then",
-		"cc_to = (cc_lo - 1) / 8",
+		// Staggered subset-send traversal: ring partition order per rank.
+		"do cc_po = 1, cc_np",
+		"cc_to = mod(cc_me + cc_po, cc_np)",
 		"! original mpi_alltoall removed by compuniformer",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,395 @@
+// Package tune picks the pre-push tile size K automatically, per kernel and
+// per network profile. The paper (§2) leaves K to the user; related work
+// (Cui & Pericàs; Kumar et al.) shows overlap granularity is platform-
+// sensitive and that an analytic cost model can seed a measured search
+// cheaply. The tuner does exactly that: candidate tile sizes are seeded
+// from the LogGP-flavoured profile constants and the interpreter cost model
+// (eager/rendezvous crossover, per-message setup amortization, and the
+// sqrt-form pipeline optimum), then refined by a small hill-climbing search
+// of simulated runs on the virtual cluster. Every measured candidate passes
+// through the same parse → transform → run pipeline as the harness and is
+// checked against the bit-identical oracle; a candidate that corrupts
+// results is never chosen.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+)
+
+// DefaultMaxMeasured bounds measured candidates per (kernel, profile).
+const DefaultMaxMeasured = 10
+
+// Input is the kernel to tune.
+type Input struct {
+	Source   string // untransformed Fortran source
+	NP       int    // rank count
+	FixedK   int64  // the fixed tile size used as the search baseline
+	Profiles []netsim.Profile
+}
+
+// Options configures the search.
+type Options struct {
+	// MaxMeasured caps simulated pre-push runs per profile (seeds plus
+	// refinement steps); <= 0 selects DefaultMaxMeasured.
+	MaxMeasured int
+	// Arrays names the observable arrays the oracle compares (besides all
+	// printed output); empty means {"ar"}.
+	Arrays []string
+	// Costs optionally overrides the interpreter cost model (nil = default).
+	Costs *interp.CostModel
+}
+
+// Candidate is one evaluated tile size under one profile.
+type Candidate struct {
+	K         int64   `json:"k"`
+	PrepushNs int64   `json:"prepush_ns"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+	Seeded    bool    `json:"seeded"` // proposed by the analytic model
+}
+
+// Choice is the tuning outcome for one (kernel, profile) pair.
+type Choice struct {
+	Profile      string      `json:"profile"`
+	Offload      bool        `json:"offload"`
+	ChosenK      int64       `json:"chosen_k"`
+	Speedup      float64     `json:"tuned_speedup"`
+	PrepushNs    int64       `json:"tuned_prepush_ns"`
+	OriginalNs   int64       `json:"original_ns"`
+	FixedK       int64       `json:"fixed_k"`
+	FixedSpeedup float64     `json:"fixed_speedup"`
+	Evaluations  int         `json:"evaluations"`   // measured pre-push runs
+	SearchSimNs  int64       `json:"search_sim_ns"` // simulated time spent searching
+	Candidates   []Candidate `json:"candidates"`
+}
+
+// Tune searches tile sizes for the kernel under every profile. The search
+// is fully deterministic: the same input and options always produce the
+// same choices (candidate order is sorted, ties prefer the smaller K).
+func Tune(in Input, opts Options) ([]Choice, error) {
+	arrays := opts.Arrays
+	if len(arrays) == 0 {
+		arrays = []string{"ar"}
+	}
+	maxM := opts.MaxMeasured
+	if maxM <= 0 {
+		maxM = DefaultMaxMeasured
+	}
+
+	rt, err := core.NewRetiler(in.Source, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("tune: parse: %w", err)
+	}
+	// Baseline transform at the fixed K establishes the kernel's geometry
+	// (partition size, message volume per iteration) for the analytic seeds.
+	_, rep, err := rt.Retile(in.FixedK)
+	if err != nil {
+		return nil, fmt.Errorf("tune: transform at fixed K=%d: %w", in.FixedK, err)
+	}
+	geo := geometry(rep)
+	if geo == nil {
+		return nil, fmt.Errorf("tune: transform did not fire at fixed K=%d: %s", in.FixedK, rep.FirstRejection())
+	}
+	// Candidate ladder: divisors of the partition size (the legality
+	// constraint of the subset-send and indirect schedules) unioned with
+	// divisors of the tiled-loop trip count (the natural rungs when the
+	// tiled loop is not the partitioned dimension). A rung the transform
+	// rejects at evaluation time is skipped without costing a measurement.
+	ladder := mergeLadders(divisors(geo.psz), divisors(geo.trip))
+
+	var choices []Choice
+	for _, prof := range in.Profiles {
+		ch, err := tuneProfile(rt, in, prof, geo, ladder, arrays, maxM, opts.Costs)
+		if err != nil {
+			return nil, err
+		}
+		choices = append(choices, ch)
+	}
+	return choices, nil
+}
+
+// geom carries the kernel facts the analytic seeding needs.
+type geom struct {
+	psz          int64 // partition size in last-dimension units
+	trip         int64 // tiled-loop trip count (0 when unknown)
+	perIterBytes int64 // bytes of one point-to-point message per tiled iteration
+}
+
+func geometry(rep *core.Report) *geom {
+	for _, s := range rep.Sites {
+		if !s.Transformed || s.Result == nil {
+			continue
+		}
+		res := s.Result
+		g := &geom{psz: res.PartitionSize}
+		if res.TileCount > 0 {
+			g.trip = res.TileCount*res.K + res.Leftover
+		}
+		if res.TileMsgElems > 0 && res.K > 0 {
+			g.perIterBytes = res.TileMsgElems * 4 / res.K
+		}
+		return g
+	}
+	return nil
+}
+
+// tuneProfile runs the seeded, measured search for one profile.
+func tuneProfile(rt *core.Retiler, in Input, prof netsim.Profile, geo *geom,
+	ladder []int64, arrays []string, maxM int, costs *interp.CostModel) (Choice, error) {
+
+	orig, err := simulate(in.Source, in.NP, prof, costs)
+	if err != nil {
+		return Choice{}, fmt.Errorf("tune: original run under %s: %w", prof.Name, err)
+	}
+	origNs := int64(orig.Elapsed())
+
+	ch := Choice{
+		Profile: prof.Name, Offload: prof.Offload,
+		OriginalNs: origNs, FixedK: in.FixedK,
+	}
+	measured := map[int64]*Candidate{}
+	runs := 0
+
+	// evaluate runs the pre-push variant at k and applies the oracle. A k
+	// the transformation rejects yields no candidate and costs nothing
+	// against the measurement budget.
+	evaluate := func(k int64, seeded bool) *Candidate {
+		if c, ok := measured[k]; ok {
+			return c
+		}
+		if runs >= maxM {
+			return nil
+		}
+		src, rep, err := rt.Retile(k)
+		if err != nil || rep.TransformedCount() == 0 {
+			measured[k] = nil
+			return nil
+		}
+		runs++
+		res, err := simulate(src, in.NP, prof, costs)
+		if err != nil {
+			measured[k] = nil
+			return nil
+		}
+		c := &Candidate{K: k, PrepushNs: int64(res.Elapsed()), Seeded: seeded}
+		if c.PrepushNs > 0 {
+			c.Speedup = float64(origNs) / float64(c.PrepushNs)
+		}
+		same, _ := interp.SameObservable(orig, res, arrays...)
+		c.Identical = same
+		measured[k] = c
+		return c
+	}
+
+	// The fixed K is always measured first so the tuned choice can never
+	// lose to the baseline, then the analytic seeds.
+	evaluate(in.FixedK, true)
+	for _, k := range seedKs(prof, geo, in.FixedK, costs, ladder) {
+		evaluate(k, true)
+	}
+	// Refinement: hill-climb the divisor ladder from the best seed until no
+	// neighbor improves or the measurement budget runs out.
+	for {
+		best := bestCandidate(measured)
+		if best == nil {
+			break
+		}
+		// Neighbor rungs: for an on-ladder best, the rungs either side; for
+		// an off-ladder best (a fixed K dividing neither the partition size
+		// nor the trip count), the rungs bracketing it.
+		i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= best.K })
+		neighbors := []int{i - 1, i}
+		if i < len(ladder) && ladder[i] == best.K {
+			neighbors = []int{i - 1, i + 1}
+		}
+		improved := false
+		for _, j := range neighbors {
+			if j < 0 || j >= len(ladder) {
+				continue
+			}
+			if _, seen := measured[ladder[j]]; seen {
+				continue
+			}
+			if c := evaluate(ladder[j], false); c != nil && c.Identical && c.Speedup > best.Speedup {
+				improved = true
+			}
+		}
+		if !improved || runs >= maxM {
+			break
+		}
+	}
+
+	winner := bestCandidate(measured)
+	if winner == nil {
+		return Choice{}, fmt.Errorf("tune: no valid tile size found under %s (fixed K=%d)", prof.Name, in.FixedK)
+	}
+	ch.ChosenK = winner.K
+	ch.Speedup = winner.Speedup
+	ch.PrepushNs = winner.PrepushNs
+	if fixed := measured[in.FixedK]; fixed != nil {
+		ch.FixedSpeedup = fixed.Speedup
+	}
+	// Evaluations reports the budget actually consumed (a run whose
+	// simulation failed still spent a slot); SearchSimNs sums the
+	// successful runs' simulated makespans.
+	ch.Evaluations = runs
+	for _, k := range sortedKeys(measured) {
+		c := measured[k]
+		if c == nil {
+			continue
+		}
+		ch.Candidates = append(ch.Candidates, *c)
+		ch.SearchSimNs += c.PrepushNs
+	}
+	return ch, nil
+}
+
+// simulate loads and runs one variant on the virtual cluster.
+func simulate(src string, np int, prof netsim.Profile, costs *interp.CostModel) (*interp.Result, error) {
+	prog, err := interp.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	if costs != nil {
+		prog.Costs = *costs
+	}
+	return prog.Run(np, prof)
+}
+
+// seedKs proposes candidate tile sizes from the analytic cost model, snapped
+// onto the divisor ladder of the partition size (every rung is legal for
+// every pattern). Seeds, in model terms:
+//
+//   - the eager/rendezvous crossover: the largest K whose per-tile message
+//     stays under the profile's eager threshold, and the next rung above it
+//     (the protocol switch is the sharpest discontinuity in transfer cost);
+//   - setup amortization: the smallest K whose wire time covers ~4× the
+//     per-message setup (send overhead + latency), below which overheads
+//     dominate;
+//   - the pipeline optimum K* = sqrt(trip · setup / (G · bytesPerIter)),
+//     balancing the per-tile setup against the exposed drain of the last
+//     tile (the classic two-term pipelining tradeoff);
+//   - the fixed K (so the tuned result can never lose to the baseline) and
+//     the full partition (one tile per owner, the coarsest useful point).
+func seedKs(prof netsim.Profile, geo *geom, fixedK int64, costs *interp.CostModel, ladder []int64) []int64 {
+	set := map[int64]bool{}
+	snap := func(k int64) {
+		if k < 1 {
+			k = 1
+		}
+		lo, hi := snapToLadder(ladder, k)
+		set[lo] = true
+		set[hi] = true
+	}
+	set[fixedK] = true
+	if len(ladder) > 0 {
+		set[ladder[len(ladder)-1]] = true // whole partition
+	}
+	b := geo.perIterBytes
+	if b > 0 {
+		snap(prof.EagerThreshold / b)
+		setup := float64(prof.OSend) + float64(prof.Latency)
+		if prof.GapNsPerByte > 0 {
+			snap(int64(4 * setup / (prof.GapNsPerByte * float64(b))))
+			if geo.trip > 0 {
+				snap(int64(math.Sqrt(float64(geo.trip) * setup / (prof.GapNsPerByte * float64(b)))))
+			}
+		}
+		if costs != nil {
+			// Compute-balance rung: the tile whose computation hides one
+			// message's setup+latency (finer tiles stall the pipeline).
+			perIterCompute := float64(costs.Store+costs.LoopIter+2*costs.Op) * float64(b) / 4
+			if perIterCompute > 0 {
+				snap(int64(setup / perIterCompute))
+			}
+		}
+	}
+	var out []int64
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// divisors returns all divisors of n in ascending order (nil when n < 1).
+func divisors(n int64) []int64 {
+	var out []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			if d != n/d {
+				out = append(out, n/d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeLadders unions two sorted rung lists into one sorted, deduplicated
+// ladder.
+func mergeLadders(a, b []int64) []int64 {
+	set := map[int64]bool{}
+	for _, k := range a {
+		set[k] = true
+	}
+	for _, k := range b {
+		set[k] = true
+	}
+	out := make([]int64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapToLadder returns the nearest rungs at or below and at or above k
+// (clamped to the ladder ends).
+func snapToLadder(ladder []int64, k int64) (int64, int64) {
+	if len(ladder) == 0 {
+		return k, k
+	}
+	i := sort.Search(len(ladder), func(i int) bool { return ladder[i] >= k })
+	hi := i
+	if hi == len(ladder) {
+		hi = len(ladder) - 1
+	}
+	lo := i
+	if lo > 0 && (lo == len(ladder) || ladder[lo] != k) {
+		lo--
+	}
+	return ladder[lo], ladder[hi]
+}
+
+// bestCandidate returns the identical candidate with the highest speedup,
+// ties broken toward the smaller K; nil when nothing valid was measured.
+func bestCandidate(measured map[int64]*Candidate) *Candidate {
+	var best *Candidate
+	for _, k := range sortedKeys(measured) {
+		c := measured[k]
+		if c == nil || !c.Identical {
+			continue
+		}
+		if best == nil || c.Speedup > best.Speedup {
+			best = c
+		}
+	}
+	return best
+}
+
+func sortedKeys(m map[int64]*Candidate) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

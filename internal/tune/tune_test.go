@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func profiles() []netsim.Profile {
+	return []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()}
+}
+
+// TestDeterministicChoices: the search is a pure function of its input —
+// running it twice must produce byte-identical choices (the property the
+// harness's determinism-across-parallelism test builds on).
+func TestDeterministicChoices(t *testing.T) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 2})[1]
+	in := Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()}
+	opts := Options{Costs: sc.Costs}
+	a, err := Tune(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same input produced different choices:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSameSeedSameChosenK: regenerating the corpus from the same seed and
+// tuning again must land on the same chosen K per profile.
+func TestSameSeedSameChosenK(t *testing.T) {
+	pick := func() map[string]int64 {
+		sc := workload.GenerateScenarios(workload.GenOptions{Seed: 7, Limit: 4})[3]
+		choices, err := Tune(
+			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()},
+			Options{Costs: sc.Costs},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for _, c := range choices {
+			out[c.Profile] = c.ChosenK
+		}
+		return out
+	}
+	if a, b := pick(), pick(); !reflect.DeepEqual(a, b) {
+		t.Errorf("seed 7 chose %v then %v", a, b)
+	}
+}
+
+// TestTunedNeverLosesToFixed: the fixed K is always in the candidate set,
+// so the tuned speedup is bounded below by the fixed-K speedup, and every
+// choice is backed by an oracle-identical run.
+func TestTunedNeverLosesToFixed(t *testing.T) {
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{Limit: 5}) {
+		choices, err := Tune(
+			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()},
+			Options{Costs: sc.Costs},
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for _, c := range choices {
+			if c.Speedup < c.FixedSpeedup {
+				t.Errorf("%s/%s: tuned %.3f worse than fixed %.3f",
+					sc.Name, c.Profile, c.Speedup, c.FixedSpeedup)
+			}
+			if c.Evaluations < 1 {
+				t.Errorf("%s/%s: no measured candidates", sc.Name, c.Profile)
+			}
+			if c.SearchSimNs <= 0 {
+				t.Errorf("%s/%s: no recorded search cost", sc.Name, c.Profile)
+			}
+			found := false
+			for _, cand := range c.Candidates {
+				if cand.K == c.ChosenK {
+					found = true
+					if !cand.Identical {
+						t.Errorf("%s/%s: chosen K=%d failed the oracle", sc.Name, c.Profile, cand.K)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s: chosen K=%d not among candidates", sc.Name, c.Profile, c.ChosenK)
+			}
+		}
+	}
+}
+
+// TestMeasurementBudget: MaxMeasured caps the simulated pre-push runs.
+func TestMeasurementBudget(t *testing.T) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 1})[0]
+	choices, err := Tune(
+		Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()[1:]},
+		Options{Costs: sc.Costs, MaxMeasured: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := choices[0].Evaluations; got > 2 {
+		t.Errorf("evaluations = %d, want ≤ 2", got)
+	}
+}
+
+func TestTuneRejectsBrokenSource(t *testing.T) {
+	_, err := Tune(Input{Source: "not fortran", NP: 4, FixedK: 4, Profiles: profiles()}, Options{})
+	if err == nil {
+		t.Fatal("expected an error for unparseable source")
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := divisors(12)
+	want := []int64{1, 2, 3, 4, 6, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("divisors(12) = %v, want %v", got, want)
+	}
+	if d := divisors(0); len(d) != 0 {
+		t.Errorf("divisors(0) = %v, want empty", d)
+	}
+}
+
+func TestSnapToLadder(t *testing.T) {
+	ladder := []int64{1, 2, 4, 8, 16}
+	cases := []struct{ k, lo, hi int64 }{
+		{3, 2, 4},
+		{4, 4, 4},
+		{100, 16, 16},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		lo, hi := snapToLadder(ladder, c.k)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("snap(%d) = (%d, %d), want (%d, %d)", c.k, lo, hi, c.lo, c.hi)
+		}
+	}
+}

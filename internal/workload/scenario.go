@@ -99,6 +99,7 @@ func GenerateScenarios(opts GenOptions) []Scenario {
 		fftScenarios(opts.Seed),
 		luScenarios(opts.Seed),
 		sortScenarios(opts.Seed),
+		raggedScenarios(opts.Seed),
 	)
 	var out []Scenario
 	for i := 0; ; i++ {
@@ -300,6 +301,47 @@ func sortScenarios(seed int64) []Scenario {
 		out = append(out, Scenario{
 			Name:   fmt.Sprintf("sort/nx%d/np%d/K%d", c.nx, c.np, c.k),
 			Family: "sort", Source: src, NP: c.np, K: c.k, Seed: seed,
+			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
+		})
+	}
+	return out
+}
+
+// raggedScenarios exercises the §3.6 step-3 leftover exchange end-to-end:
+// the tile size does not divide the tiled-loop extent, so every execution
+// ends with a partial-tile exchange. The shifted variants also move the
+// tiled loop onto a 0-based window (write subscript iy + 1), covering the
+// affine-offset paths of the tile-region analysis.
+func raggedScenarios(seed int64) []Scenario {
+	type cfg struct {
+		m, ny, sz, np int
+		k             int64
+		weight        int
+		shifted       bool
+	}
+	cfgs := []cfg{
+		{m: 32, ny: 21, sz: 8, np: 4, k: 8, weight: 2},                 // leftover 5, eager
+		{m: 64, ny: 30, sz: 8, np: 4, k: 8, weight: 1},                 // leftover 6, eager
+		{m: 128, ny: 33, sz: 8, np: 4, k: 16, weight: 1},               // leftover 1, rendezvous
+		{m: 32, ny: 19, sz: 8, np: 4, k: 4, weight: 2, shifted: true},  // leftover 3, shifted window
+		{m: 64, ny: 26, sz: 16, np: 8, k: 8, weight: 1, shifted: true}, // leftover 2, wider machine
+	}
+	var out []Scenario
+	for i, c := range cfgs {
+		p := Inner3DParams{
+			M: c.m, NY: c.ny, SZ: c.sz, NP: c.np, Weight: c.weight,
+			Salt: salt(seed, uint64(i)+700, 1<<16),
+		}
+		src := Inner3DSource(p)
+		kind := "plain"
+		if c.shifted {
+			src = ShiftedInner3DSource(p)
+			kind = "shifted"
+		}
+		pair := int64(c.m * c.ny * c.sz / c.np * 4)
+		out = append(out, Scenario{
+			Name:   fmt.Sprintf("ragged/%s/m%d/ny%d/sz%d/np%d/K%d", kind, c.m, c.ny, c.sz, c.np, c.k),
+			Family: "ragged", Source: src, NP: c.np, K: c.k, Seed: seed,
 			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
 		})
 	}

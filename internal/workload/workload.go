@@ -121,6 +121,51 @@ end program inner3d
 `, p.M, p.NY, p.SZ, p.NP, rhs)
 }
 
+// ShiftedInner3DSource renders the inner-node-loop kernel with the tiled
+// loop running over a shifted window (0..ny-1) and the write subscript
+// offset back (iy + 1): same semantics as Inner3DSource, but the tiled
+// loop's bounds no longer coincide with the array dimension, exercising the
+// affine-offset paths of the tile-region analysis. Combined with a tile
+// size that does not divide ny it drives the §3.6 step-3 leftover exchange.
+func ShiftedInner3DSource(p Inner3DParams) string {
+	rhs := fmt.Sprintf("me + (im*(iy + 1) + inode*%d)*(im - iy - 1)", 3+absSalt(p.Salt)%17)
+	for w := 0; w < p.Weight; w++ {
+		rhs = fmt.Sprintf("(%s) + mod(im*%d + iy + inode, 17)*(im - %d)", rhs, w+2, w+1)
+	}
+	return fmt.Sprintf(`
+program inner3dsh
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: m = %d
+  integer, parameter :: ny = %d
+  integer, parameter :: sz = %d
+  integer, parameter :: np = %d
+  integer as(1:m, 1:ny, 1:sz)
+  integer ar(1:m, 1:ny, 1:sz)
+  integer im, iy, inode, ierr, me, checksum
+
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do iy = 0, ny - 1
+    do inode = 1, sz
+      do im = 1, m
+        as(im, iy + 1, inode) = %s
+      enddo
+    enddo
+  enddo
+  call mpi_alltoall(as, m*ny*sz/np, mpi_integer, ar, m*ny*sz/np, mpi_integer, mpi_comm_world, ierr)
+  checksum = 0
+  do inode = 1, sz
+    do im = 1, m
+      checksum = checksum + ar(im, 1, inode)*im - ar(im, ny/2, inode)
+    enddo
+  enddo
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program inner3dsh
+`, p.M, p.NY, p.SZ, p.NP, rhs)
+}
+
 // IndirectParams sizes the Fig. 3(a)-shaped kernel (the paper's §4 test
 // program pattern: indirect compute-copy through a temporary).
 type IndirectParams struct {

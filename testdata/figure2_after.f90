@@ -6,8 +6,8 @@ program direct
   integer as(1:nx)
   integer ar(1:nx)
   integer ix, iy, ierr, checksum
-  integer cc_me, cc_np, cc_ierr, cc_nreq, cc_tile, cc_lo, cc_to, cc_from, cc_j, cc_off, cc_i
-  integer cc_reqs(1:128)
+  integer cc_me, cc_np, cc_ierr, cc_nreq, cc_tile, cc_lo, cc_to, cc_from, cc_j, cc_off, cc_i, cc_po, cc_tt, cc_it
+  integer cc_reqs(1:28)
 
   call mpi_init(ierr)
   checksum = 0
@@ -17,29 +17,37 @@ program direct
     call mpi_comm_size(mpi_comm_world, cc_np, cc_ierr)
     cc_nreq = 0
     cc_tile = 0
-    do ix = 1, nx
-      as(ix) = ix * 3 + iy * 7
-      if (mod(ix, 4) == 0) then
-        ! pre-push tile exchange (inserted by compuniformer)
-        cc_lo = ix - 3
-        cc_tile = cc_tile + 1
-        cc_to = (cc_lo - 1) / 8
-        cc_off = cc_lo - 1 - cc_to * 8
+    ! pre-post all receives for this rank's partition (staggered schedule)
+    do cc_tt = 0, 1
+      cc_tile = cc_me * 2 + cc_tt
+      cc_off = cc_tt * 4
+      do cc_j = 1, cc_np - 1
+        cc_from = mod(cc_np + cc_me - cc_j, cc_np)
+        cc_nreq = cc_nreq + 1
+        call mpi_irecv(ar(1 + cc_from * 8 + cc_off), 4, mpi_integer, cc_from, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
+      enddo
+    enddo
+    do cc_po = 1, cc_np
+      cc_to = mod(cc_me + cc_po, cc_np)
+      do cc_tt = 0, 1
+        ! staggered subset-send traversal (inserted by compuniformer)
+        cc_tile = cc_to * 2 + cc_tt
+        cc_it = 1 + cc_tile * 4
+        cc_lo = cc_it
+        do ix = cc_it, cc_it + 3
+          as(ix) = ix * 3 + iy * 7
+        enddo
+        cc_off = cc_tt * 4
         if (cc_to /= cc_me) then
           cc_nreq = cc_nreq + 1
           call mpi_isend(as(cc_lo), 4, mpi_integer, cc_to, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
         else
-          do cc_j = 1, cc_np - 1
-            cc_from = mod(cc_np + cc_me - cc_j, cc_np)
-            cc_nreq = cc_nreq + 1
-            call mpi_irecv(ar(1 + cc_from * 8 + cc_off), 4, mpi_integer, cc_from, cc_tile, mpi_comm_world, cc_reqs(cc_nreq), cc_ierr)
-          enddo
           ! local copy of this rank's own partition block
           do cc_i = 0, 3
             ar(1 + cc_me * 8 + cc_off + cc_i) = as(cc_lo + cc_i)
           enddo
         endif
-      endif
+      enddo
     enddo
     ! drain the last tile's communication (inserted by compuniformer)
     if (cc_nreq > 0) then
