@@ -2,18 +2,27 @@
 // reads a Fortran program that exchanges arrays with MPI_ALLTOALL after a
 // finalizing loop nest, and rewrites it to pre-push the data with
 // asynchronous sends inside the loop (maximizing communication-computation
-// overlap).
+// overlap). It is a front-end over the Analyze → Plan → Apply pipeline:
+// every run builds (or loads) a serializable overlap plan and replays it.
 //
 // Usage:
 //
-//	compuniformer [-k N] [-np N] [-report] [-verify] [-per-tile-wait]
+//	compuniformer [-k N] [-np N] [-machine name] [-report] [-verify]
+//	              [-wait deferred|per-tile] [-send-order staggered|sequential]
+//	              [-interchange auto|on|off] [-interchange-min-bytes N]
+//	              [-plan out.json] [-apply-plan in.json]
 //	              [-answer proc:array=yes,...] [input.f90]
 //
 // The transformed source is written to stdout; the analysis report to
-// stderr. Without an input file, stdin is read. With -verify, both the
+// stderr. Without an input file, stdin is read. -plan dumps the plan that
+// was applied (with one site entry per analyzed MPI_ALLTOALL, so it can be
+// edited per site and replayed with -apply-plan; "-" dumps to stdout in
+// place of the transformed source). -apply-plan replays a previously
+// dumped plan verbatim, ignoring the knob flags. With -verify, both the
 // original and the transformed program are executed on the simulated
-// cluster under both network stacks and their observable results compared
-// (the paper's §4 correctness protocol); a mismatch is a fatal error.
+// cluster under the selected machine models and their observable results
+// compared (the paper's §4 correctness protocol); a mismatch is a fatal
+// error.
 package main
 
 import (
@@ -26,15 +35,22 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/interp"
-	"repro/internal/netsim"
+	"repro/internal/plan"
 )
 
 func main() {
-	k := flag.Int64("k", 8, "tile size: iterations of the finalized loop per tile")
+	k := flag.Int64("k", 0, "tile size: iterations of the finalized loop per tile (0 = machine default)")
 	np := flag.Int64("np", 0, "target rank count (default: the program's 'np' parameter)")
+	machineName := flag.String("machine", "mpich-gm-2005", "machine model the plan targets (see internal/plan)")
 	report := flag.Bool("report", false, "print only the analysis report, not the transformed source")
 	verify := flag.Bool("verify", false, "run original and transformed on the simulator and compare results")
-	perTileWait := flag.Bool("per-tile-wait", false, "use the paper's literal per-tile wait schedule (§3.6 step 2)")
+	wait := flag.String("wait", "", "wait schedule: deferred (default) or per-tile (the paper's §3.6 step 2)")
+	perTileWait := flag.Bool("per-tile-wait", false, "deprecated alias for -wait per-tile")
+	sendOrder := flag.String("send-order", "", "subset-send order: staggered (default) or sequential (paper's owner order)")
+	interchange := flag.String("interchange", "", "§3.5 interchange: auto (granularity gate, default), on, or off")
+	interchangeMin := flag.Int64("interchange-min-bytes", 0, "auto-gate threshold in bytes (0 = default 2048)")
+	planOut := flag.String("plan", "", "dump the applied plan as JSON to this path ('-' = stdout, replacing the source)")
+	planIn := flag.String("apply-plan", "", "replay a plan JSON file instead of building one from flags")
 	answers := flag.String("answer", "", "semi-automatic oracle answers, e.g. 'fill:as=yes,trash:as=no'")
 	flag.Parse()
 
@@ -43,7 +59,12 @@ func main() {
 		fatal(err)
 	}
 
-	opts := core.Options{K: *k, NP: *np, PerTileWait: *perTileWait}
+	machine, err := plan.ByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+
+	aopts := core.AnalyzeOptions{NP: *np}
 	if *answers != "" {
 		oracle := analysis.MapOracle{}
 		for _, kv := range strings.Split(*answers, ",") {
@@ -53,21 +74,88 @@ func main() {
 			}
 			oracle[parts[0]] = parts[1] == "yes" || parts[1] == "true"
 		}
-		opts.Oracle = oracle
+		aopts.Oracle = oracle
 	}
 
-	out, rep, err := core.Transform(src, opts)
+	prog, err := core.Analyze(src, aopts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pl *plan.Plan
+	if *planIn != "" {
+		b, err := os.ReadFile(*planIn)
+		if err != nil {
+			fatal(err)
+		}
+		if pl, err = plan.Decode(b); err != nil {
+			fatal(err)
+		}
+	} else {
+		pl = plan.Default(machine)
+		pl.NP = *np
+		d := &pl.Default
+		if *k > 0 {
+			d.K = *k
+		}
+		if *perTileWait {
+			d.Wait = plan.WaitPerTile
+		}
+		if *wait != "" {
+			d.Wait = plan.WaitSchedule(*wait)
+		}
+		if *sendOrder != "" {
+			d.SendOrder = plan.SendOrder(*sendOrder)
+		}
+		if *interchange != "" {
+			d.Interchange = plan.Interchange(*interchange)
+		}
+		if *interchangeMin > 0 {
+			d.InterchangeMinBlockBytes = *interchangeMin
+		}
+		// Materialize one entry per analyzed site so a dumped plan can be
+		// edited per site before replaying.
+		for i := range prog.Sites {
+			pl.Set(prog.Sites[i].Key(), pl.Default)
+		}
+		if err := pl.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+
+	out, rep, err := core.Apply(prog, pl)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprint(os.Stderr, rep)
-	if *verify && rep.TransformedCount() > 0 {
-		if err := verifyEquivalence(src, out, int(*np)); err != nil {
+
+	if *planOut != "" {
+		b, err := pl.Encode()
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "verify: original and transformed produce identical results on both stacks")
+		if *planOut == "-" {
+			fmt.Print(string(b))
+		} else if err := os.WriteFile(*planOut, b, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "plan written to %s\n", *planOut)
+		}
 	}
-	if !*report {
+
+	if *verify && rep.TransformedCount() > 0 {
+		// The plan's NP wins when -np is unset: a replayed plan may have
+		// specialized the transformation for its own rank count.
+		npv := *np
+		if npv == 0 {
+			npv = pl.NP
+		}
+		if err := verifyEquivalence(src, out, int(npv), machine); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "verify: original and transformed produce identical results on all machines")
+	}
+	if !*report && *planOut != "-" {
 		fmt.Print(out)
 	}
 	if rep.TransformedCount() == 0 {
@@ -75,36 +163,49 @@ func main() {
 	}
 }
 
-// verifyEquivalence runs both versions on the simulated cluster under both
-// network profiles and compares printed output and the receive arrays.
-func verifyEquivalence(src, transformed string, np int) error {
+// verifyEquivalence runs both versions on the simulated cluster under the
+// paper pair plus the selected machine and compares printed output and the
+// receive arrays.
+func verifyEquivalence(src, transformed string, np int, selected plan.Machine) error {
 	if np == 0 {
 		// Use the program's np parameter via a probe run of the analysis;
 		// simplest robust default: 4.
 		np = 4
 	}
-	for _, prof := range []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()} {
+	machines := plan.PaperPair()
+	have := false
+	for _, m := range machines {
+		if m.Name == selected.Name {
+			have = true
+		}
+	}
+	if !have {
+		machines = append(machines, selected)
+	}
+	for _, m := range machines {
 		po, err := interp.Load(src)
 		if err != nil {
 			return fmt.Errorf("verify: load original: %w", err)
 		}
-		ro, err := po.Run(np, prof)
+		po.Costs = m.Costs
+		ro, err := po.Run(np, m.Profile)
 		if err != nil {
-			return fmt.Errorf("verify: run original (%s): %w", prof, err)
+			return fmt.Errorf("verify: run original (%s): %w", m, err)
 		}
 		pt, err := interp.Load(transformed)
 		if err != nil {
 			return fmt.Errorf("verify: load transformed: %w", err)
 		}
-		rt, err := pt.Run(np, prof)
+		pt.Costs = m.Costs
+		rt, err := pt.Run(np, m.Profile)
 		if err != nil {
-			return fmt.Errorf("verify: run transformed (%s): %w", prof, err)
+			return fmt.Errorf("verify: run transformed (%s): %w", m, err)
 		}
 		if same, why := interp.SameObservable(ro, rt, receiveArrays(ro, rt)...); !same {
-			return fmt.Errorf("verify: MISMATCH under %s: %s", prof, why)
+			return fmt.Errorf("verify: MISMATCH under %s: %s", m, why)
 		}
-		fmt.Fprintf(os.Stderr, "verify: %-10s original %-12s prepush %-12s\n",
-			prof.Name, ro.Elapsed(), rt.Elapsed())
+		fmt.Fprintf(os.Stderr, "verify: %-14s original %-12s prepush %-12s\n",
+			m.Name, ro.Elapsed(), rt.Elapsed())
 	}
 	return nil
 }

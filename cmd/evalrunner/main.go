@@ -1,32 +1,45 @@
 // Command evalrunner runs the differential conformance-and-evaluation
 // sweep: every scenario of the generated corpus is parsed, executed,
-// transformed by the Compuniformer, executed again, checked for
-// bit-identical observable results, and timed under both network profiles.
-// The sweep is the repository's end-to-end regression gate.
+// transformed by the Compuniformer's Analyze → Plan → Apply pipeline,
+// executed again, checked for bit-identical observable results, and timed
+// under the selected machine models. The sweep is the repository's
+// end-to-end regression gate.
 //
-// With -tune, the tile size K is additionally chosen automatically per
-// (scenario, profile) by internal/tune (analytic seeding + measured
-// search); the report then carries the chosen K, the tuned speedup, and
+// With -tune, the whole overlap plan — tile size K, wait schedule, send
+// order, interchange gate — is additionally chosen automatically per
+// (scenario, machine) by internal/tune (analytic seeding + measured
+// search); the report then carries the chosen plan, the tuned speedup, and
 // the search cost next to the fixed-K numbers, and the offload gate
 // requires the tuned geomean to strictly beat the fixed-K geomean.
 //
 // Usage:
 //
-//	go run ./cmd/evalrunner [-out BENCH_harness.json] [-seed N] [-limit N]
-//	                        [-parallel N] [-min 20] [-q] [-tune] [-tunemax N]
+//	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
+//	           [-machines a,b] [-parallel N] [-min 20] [-q]
+//	           [-tune] [-tunemax N] [-tune-konly]
+//	evalrunner -merge -out merged.json shard0.json shard1.json ...
+//
+// -shard I/N keeps only the scenarios whose corpus index ≡ I (mod N), so a
+// large tuned sweep can split across processes; each shard writes a normal
+// (partial) artifact and -merge folds them back into corpus order,
+// recomputes the summary, and applies the aggregate gates. Aggregate gates
+// (offload gain, tuned-beats-fixed) are skipped on individual shards —
+// they only make sense on the full artifact.
 //
 // Exit status is nonzero when any scenario fails the correctness oracle,
 // any scenario errors, any measurement reports a non-positive speedup, or
-// an offload profile (identified by its Offload flag, not by name) shows no
-// aggregate overlap gain.
+// (on unsharded or merged runs) an offload machine — identified by its
+// Offload flag, not by name — shows no aggregate overlap gain.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -34,12 +47,31 @@ func main() {
 	out := flag.String("out", "BENCH_harness.json", "path of the JSON bench artifact ('' disables)")
 	seed := flag.Int64("seed", 0, "corpus seed (0 = canonical corpus)")
 	limit := flag.Int("limit", 0, "truncate the corpus to its first N scenarios (0 = all)")
+	shard := flag.String("shard", "", "run only shard I/N of the corpus, e.g. 0/2 (\"\" = all)")
+	machineList := flag.String("machines", "", "comma-separated machine models (default: mpich-tcp-2005,mpich-gm-2005)")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS)")
-	min := flag.Int("min", 20, "fail unless the corpus has at least this many scenarios")
+	min := flag.Int("min", 20, "fail unless the corpus (before sharding) has at least this many scenarios")
 	quiet := flag.Bool("q", false, "suppress the per-scenario table")
-	tuneFlag := flag.Bool("tune", false, "auto-tune the tile size K per scenario and profile")
-	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/profile (0 = default)")
+	tuneFlag := flag.Bool("tune", false, "auto-tune the overlap plan (K + wait/send-order/interchange knobs) per scenario and machine")
+	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
+	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
+	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
 	flag.Parse()
+
+	if *merge {
+		runMerge(*out, flag.Args(), *seed, *quiet)
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "evalrunner: unexpected arguments (did you mean -merge?):", flag.Args())
+		os.Exit(1)
+	}
+
+	machines, err := resolveMachines(*machineList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
 
 	full := workload.GenerateScenarios(workload.GenOptions{Seed: *seed})
 	scenarios := full
@@ -50,10 +82,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evalrunner: corpus has %d scenarios, need at least %d\n", len(scenarios), *min)
 		os.Exit(1)
 	}
+	sharded := false
+	if *shard != "" {
+		scenarios, err = selectShard(scenarios, *shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
+			os.Exit(1)
+		}
+		sharded = true
+		if len(scenarios) == 0 {
+			fmt.Fprintln(os.Stderr, "evalrunner: shard selects no scenarios")
+			os.Exit(1)
+		}
+	}
 
 	rep, err := harness.Run(harness.Config{
-		Scenarios: scenarios, Parallelism: *parallel,
-		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax,
+		Scenarios: scenarios, Machines: machines, Parallelism: *parallel,
+		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax, TuneKOnly: *konly,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -74,6 +119,68 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	// Aggregate gates run only on complete artifacts: a shard defers them
+	// to the -merge step. Strictness (tuned must strictly beat fixed)
+	// additionally requires the full canonical corpus; a truncated prefix
+	// may legitimately already be optimally tuned. A -limit at or above
+	// the corpus size still runs the full corpus, so it stays strict.
+	aggregate := !sharded
+	strict := aggregate && len(scenarios) == len(full)
+	if sharded {
+		fmt.Fprintln(os.Stderr, "evalrunner: shard run — aggregate gates deferred to -merge")
+	}
+	if !gates(rep, aggregate, strict, *tuneFlag) {
+		os.Exit(1)
+	}
+}
+
+// runMerge folds shard artifacts into one report, writes it, and applies
+// the full gate set.
+func runMerge(out string, paths []string, seed int64, quiet bool) {
+	if len(paths) < 2 {
+		fmt.Fprintln(os.Stderr, "evalrunner: -merge needs at least two input artifacts")
+		os.Exit(1)
+	}
+	var reports []*harness.Report
+	tuned := false
+	for _, p := range paths {
+		r, err := harness.ReadJSON(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
+			os.Exit(1)
+		}
+		for _, o := range r.Scenarios {
+			if len(o.Tuned) > 0 {
+				tuned = true
+			}
+		}
+		reports = append(reports, r)
+	}
+	rep, err := harness.Merge(reports)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Print(rep.Table())
+	}
+	if out != "" {
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (merged from %d shards)\n", out, len(paths))
+	}
+	full := workload.GenerateScenarios(workload.GenOptions{Seed: seed})
+	strict := len(rep.Scenarios) == len(full)
+	if !gates(rep, true, strict, tuned) {
+		os.Exit(1)
+	}
+}
+
+// gates applies the regression gates; aggregate selects the whole-corpus
+// gates, strict the tuned-must-strictly-beat-fixed form.
+func gates(rep *harness.Report, aggregate, strict, tuned bool) bool {
 	ok := true
 	if rep.Summary.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "evalrunner: %d scenario(s) errored\n", rep.Summary.Errors)
@@ -89,32 +196,59 @@ func main() {
 			rep.Summary.NonPositive)
 		ok = false
 	}
-	// The overlap gates key on each profile's Offload capability flag (as
-	// recorded in the report), not on profile names, so renamed or added
-	// machine models stay gated. On the full canonical corpus the tuned
-	// geomean must strictly beat the fixed-K geomean; a truncated prefix
-	// may legitimately already be optimally tuned, so there the gate only
-	// requires that tuning never loses. A -limit at or above the corpus
-	// size still runs the full corpus, so it stays strict.
-	strict := len(scenarios) == len(full)
+	if !aggregate {
+		return ok
+	}
+	// The overlap gates key on each machine's Offload capability flag (as
+	// recorded in the report), not on machine names, so renamed or added
+	// machine models stay gated.
 	for _, ps := range rep.Summary.PerProfile {
 		if !ps.Offload {
 			continue
 		}
 		if ps.Geomean <= 1.0 {
-			fmt.Fprintf(os.Stderr, "evalrunner: no aggregate overlap gain on offload profile %s (geomean %.3f)\n",
+			fmt.Fprintf(os.Stderr, "evalrunner: no aggregate overlap gain on offload machine %s (geomean %.3f)\n",
 				ps.Profile, ps.Geomean)
 			ok = false
 		}
-		if *tuneFlag {
+		if tuned {
 			if ps.TunedGeomean < ps.Geomean || (strict && ps.TunedGeomean <= ps.Geomean) {
-				fmt.Fprintf(os.Stderr, "evalrunner: tuning did not beat fixed K on offload profile %s (tuned %.3f vs fixed %.3f)\n",
+				fmt.Fprintf(os.Stderr, "evalrunner: tuning did not beat fixed K on offload machine %s (tuned %.3f vs fixed %.3f)\n",
 					ps.Profile, ps.TunedGeomean, ps.Geomean)
 				ok = false
 			}
 		}
 	}
-	if !ok {
-		os.Exit(1)
+	return ok
+}
+
+// resolveMachines parses the -machines list ("" = the paper pair).
+func resolveMachines(list string) ([]plan.Machine, error) {
+	if list == "" {
+		return nil, nil // harness default: plan.PaperPair()
 	}
+	var machines []plan.Machine
+	for _, name := range strings.Split(list, ",") {
+		m, err := plan.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, m)
+	}
+	return machines, nil
+}
+
+// selectShard keeps the scenarios whose corpus index ≡ I (mod N).
+func selectShard(scenarios []workload.Scenario, spec string) ([]workload.Scenario, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
+		return nil, fmt.Errorf("bad -shard %q (want I/N with 0 ≤ I < N)", spec)
+	}
+	var out []workload.Scenario
+	for _, sc := range scenarios {
+		if sc.Index%n == i {
+			out = append(out, sc)
+		}
+	}
+	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -34,16 +35,16 @@ func main() {
 
 	// Figure 2: the direct pattern, same parameters as cmd/paperfigs.
 	fig2 := workload.DirectSource(workload.DirectParams{NX: 64, Outer: 4, NP: 8, Weight: 0})
-	fig2after := transform(fig2, core.Options{K: 4}, "figure2")
+	fig2after := transform(fig2, 4, "figure2")
 
 	// Figure 3: the indirect pattern (copy through a temporary).
 	fig3 := workload.IndirectSource(workload.IndirectParams{N: 8, NP: 4, Weight: 0})
-	fig3after := transform(fig3, core.Options{K: 2}, "figure3")
+	fig3after := transform(fig3, 2, "figure3")
 
 	// Figure 4: only the generated exchange block of the inner-node-loop
 	// form, extracted the same way cmd/paperfigs prints it.
 	fig4src := workload.Inner3DSource(workload.Inner3DParams{M: 4, NY: 16, SZ: 8, NP: 4, Weight: 0})
-	fig4after := transform(fig4src, core.Options{K: 4}, "figure4")
+	fig4after := transform(fig4src, 4, "figure4")
 	fig4block, err := exchangeBlock(fig4after)
 	if err != nil {
 		fatal(err)
@@ -64,9 +65,14 @@ func main() {
 	}
 }
 
-// transform runs the Compuniformer and insists exactly one site fired.
-func transform(src string, opts core.Options, what string) string {
-	out, rep, err := core.Transform(src, opts)
+// transform runs the Analyze → Plan → Apply pipeline with a uniform plan
+// at tile size k and insists exactly one site fired.
+func transform(src string, k int64, what string) string {
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", what, err))
+	}
+	out, rep, err := core.Apply(prog, plan.Uniform(plan.Decision{K: k}))
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", what, err))
 	}

@@ -2,24 +2,37 @@
 // transformer that restructures MPI codes using MPI_ALLTOALL into tiled,
 // pre-pushing codes that overlap communication with computation.
 //
-// It ties the pipeline together: parse (ftn) → analyze (analysis, dep,
-// access) → transform (transform) → unparse (ftn), and reports what it did
-// and why it rejected what it rejected.
+// The public API is a three-stage pipeline:
+//
+//	prog, _ := core.Analyze(src, core.AnalyzeOptions{})   // parse + per-site opportunities
+//	pl := plan.Default(plan.MPICHGM2005())                // or a tuned / hand-edited plan
+//	out, rep, _ := core.Apply(prog, pl)                   // replay the plan onto the program
+//
+// Analyze parses once and discovers every MPI_ALLTOALL site's facts (pattern,
+// node-loop case, partition geometry, interchange legality). Apply replays a
+// serializable plan.Plan — per-site Decision{K, Wait, SendOrder, Interchange}
+// — onto a fresh clone of the parsed AST, memoized by the plan's canonical
+// key, so a tuner can walk plan space without re-parsing. The legacy one-shot
+// entry point Transform(src, Options) survives as a thin shim that builds a
+// uniform plan from the flat Options.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/ftn"
+	"repro/internal/plan"
 	"repro/internal/transform"
 )
 
-// Options configures a Compuniformer run.
+// Options configures a legacy one-shot Transform run. It survives only as a
+// shim over the Plan/Apply pipeline: Plan() maps the flat fields onto a
+// uniform plan applied to every site.
 type Options struct {
 	// K is the tile size (iterations per tile). The paper treats choosing
-	// K as a tuning problem (§2); 8 is a reasonable default for the
-	// simulated cluster.
+	// K as a tuning problem (§2); 0 selects plan.DefaultK.
 	K int64
 	// NP is the number of ranks the transformed code targets. 0 means
 	// "use the program's named constant np".
@@ -28,36 +41,215 @@ type Options struct {
 	// automatic (conservative).
 	Oracle analysis.Oracle
 	// PerTileWait selects the paper's literal per-tile wait (§3.6 step 2)
-	// instead of the default deferred-drain schedule; see
-	// transform.Options.PerTileWait.
+	// instead of the default deferred-drain schedule; it maps onto the
+	// plan knob Wait: "per-tile".
 	PerTileWait bool
 	// InterchangeMinBlockBytes gates the §3.5 loop interchange: a legal
 	// interchange is applied only when the resulting Fig. 4 exchange sends
-	// contiguous blocks of at least this many bytes (blockElems × K × 4);
-	// below that, fragmentation overhead outweighs the balanced schedule
-	// and the subset-send fallback is used instead. 0 selects the default
-	// (2048); a negative value disables interchange entirely.
+	// contiguous blocks of at least this many bytes (blockElems × K × 4).
+	// 0 selects the default (plan.DefaultInterchangeMinBlockBytes); a
+	// negative value disables interchange entirely (Interchange: "off").
 	InterchangeMinBlockBytes int64
 }
 
-// defaultInterchangeMinBlock is the granularity gate described above.
-const defaultInterchangeMinBlock = 2048
-
 // DefaultOptions returns the options used when none are given.
-func DefaultOptions() Options { return Options{K: 8} }
+func DefaultOptions() Options { return Options{K: plan.DefaultK} }
 
-// SiteReport describes one MPI_ALLTOALL site's outcome.
+// Plan maps the flat options onto the uniform plan they denote.
+func (o Options) Plan() *plan.Plan {
+	d := plan.Decision{K: o.K}
+	if d.K <= 0 {
+		d.K = plan.DefaultK
+	}
+	if o.PerTileWait {
+		d.Wait = plan.WaitPerTile
+	}
+	if o.InterchangeMinBlockBytes < 0 {
+		d.Interchange = plan.InterchangeOff
+	} else {
+		d.Interchange = plan.InterchangeAuto
+		d.InterchangeMinBlockBytes = o.InterchangeMinBlockBytes
+	}
+	p := plan.Uniform(d)
+	p.NP = o.NP
+	return p
+}
+
+// AnalyzeOptions configures the analysis stage.
+type AnalyzeOptions struct {
+	// NP is the rank count assumed during analysis; 0 means "use the
+	// program's named constant np".
+	NP int64
+	// Oracle answers semi-automatic questions (§3.1).
+	Oracle analysis.Oracle
+}
+
+// Site is one MPI_ALLTOALL site's analysis outcome: the facts a planner
+// needs to choose a Decision for it. Geometry fields are harvested from a
+// probe transformation at K=1 (every legal ladder contains 1) and are zero
+// when the probe rejected the site.
+type Site struct {
+	Pos      ftn.Pos
+	Pattern  analysis.Pattern
+	NodeCase analysis.NodeLoopCase
+	// Transformable reports whether the probe transformation fired; when
+	// false, Reason carries the rejection.
+	Transformable bool
+	Reason        string
+	// PartitionSize is As's last-dimension extent per rank — candidate tile
+	// sizes for the subset-send and indirect schedules must divide it.
+	PartitionSize int64
+	// TripCount is the tiled loop's trip count (0 when not numeric).
+	TripCount int64
+	// PerIterBytes is the message payload one tiled iteration contributes
+	// (0 when not numeric) — the analytic tuner's pricing unit.
+	PerIterBytes int64
+	// InterchangeLegal reports the §3.5 interchange's proven legality;
+	// InterchangeBlockElems estimates the contiguous elements per message
+	// (excluding the factor K) the interchanged exchange would send.
+	InterchangeLegal      bool
+	InterchangeBlockElems int64
+	Notes                 []string
+}
+
+// Key returns the site's plan key ("line:col").
+func (s *Site) Key() string { return s.Pos.String() }
+
+// Program is a parsed, analyzed program ready for repeated Apply calls.
+// The AST it holds is never mutated: every Apply transforms a fresh clone,
+// and outcomes are memoized by plan key so a search can revisit a candidate
+// for free. Safe for concurrent Apply calls.
+type Program struct {
+	Sites []Site
+
+	src  string
+	file *ftn.File
+	opts AnalyzeOptions
+
+	mu   sync.Mutex
+	memo map[string]applied
+}
+
+type applied struct {
+	src string
+	rep *Report
+	err error
+}
+
+// Source returns the original (untransformed) source text.
+func (p *Program) Source() string { return p.src }
+
+// Site returns the analyzed site at the given plan key, or nil.
+func (p *Program) Site(key string) *Site {
+	for i := range p.Sites {
+		if p.Sites[i].Key() == key {
+			return &p.Sites[i]
+		}
+	}
+	return nil
+}
+
+// Analyze parses src and discovers every MPI_ALLTOALL site's opportunity
+// facts. The error is non-nil only for parse failures; unanalyzable sites
+// are recorded in Sites with their rejection reason.
+func Analyze(src string, opts AnalyzeOptions) (*Program, error) {
+	file, err := ftn.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{src: src, file: file, opts: opts, memo: map[string]applied{}}
+
+	// Probe: replay the most permissive uniform plan (K=1 divides every
+	// partition; interchange off keeps loop order stable) on a clone and
+	// harvest per-site facts from its report. The probe's generated code is
+	// discarded — only the analysis outcome matters.
+	probe := plan.Uniform(plan.Decision{K: 1, Interchange: plan.InterchangeOff})
+	probe.NP = opts.NP
+	rep, err := applyPlan(ftn.CloneFile(file), probe, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range rep.Sites {
+		site := Site{
+			Pos: sr.Pos, Pattern: sr.Pattern, NodeCase: sr.NodeCase,
+			Transformable: sr.Transformed, Reason: sr.Reason, Notes: sr.Notes,
+			InterchangeLegal:      sr.InterchangeLegal,
+			InterchangeBlockElems: sr.InterchangeBlockElems,
+		}
+		if res := sr.Result; res != nil {
+			site.PartitionSize = res.PartitionSize
+			if res.TileCount > 0 {
+				site.TripCount = res.TileCount*res.K + res.Leftover
+			}
+			if res.TileMsgElems > 0 && res.K > 0 {
+				site.PerIterBytes = res.TileMsgElems * 4 / res.K
+			}
+		}
+		p.Sites = append(p.Sites, site)
+	}
+	return p, nil
+}
+
+// Apply replays a plan onto the analyzed program: every transformable
+// MPI_ALLTOALL site is rewritten (on a fresh AST clone) according to its
+// Decision, and the rewritten source plus a report are returned.
+// Untransformable sites are reported, not fatal; the error is non-nil only
+// for invalid plans. Results are memoized by the plan's canonical key, so
+// repeated Apply calls with equivalent plans are free.
+func Apply(p *Program, pl *plan.Plan) (string, *Report, error) {
+	if err := pl.Validate(); err != nil {
+		return "", nil, err
+	}
+	key := pl.Key()
+	p.mu.Lock()
+	if r, ok := p.memo[key]; ok {
+		p.mu.Unlock()
+		return r.src, r.rep, r.err
+	}
+	p.mu.Unlock()
+
+	clone := ftn.CloneFile(p.file)
+	rep, err := applyPlan(clone, pl, p.opts)
+	r := applied{rep: rep, err: err}
+	if err == nil {
+		r.src = ftn.Print(clone)
+	}
+	p.mu.Lock()
+	p.memo[key] = r
+	p.mu.Unlock()
+	return r.src, r.rep, r.err
+}
+
+// Transform parses src, transforms every transformable MPI_ALLTOALL site,
+// and returns the rewritten source plus a report — the legacy one-shot
+// entry point, now a shim over Analyze + Apply with the uniform plan the
+// Options denote.
+func Transform(src string, opts Options) (string, *Report, error) {
+	prog, err := Analyze(src, AnalyzeOptions{NP: opts.NP, Oracle: opts.Oracle})
+	if err != nil {
+		return "", nil, err
+	}
+	return Apply(prog, opts.Plan())
+}
+
+// SiteReport describes one MPI_ALLTOALL site's outcome under a plan.
 type SiteReport struct {
 	Pos         ftn.Pos
 	Transformed bool
 	Pattern     analysis.Pattern
 	NodeCase    analysis.NodeLoopCase
-	Result      *transform.Result
-	Reason      string   // rejection reason when not transformed
-	Notes       []string // analysis notes
+	// Decision is the (normalized) plan decision applied to the site.
+	Decision plan.Decision
+	Result   *transform.Result
+	Reason   string   // rejection reason when not transformed
+	Notes    []string // analysis notes
+	// Interchange facts captured at analysis time (valid for the direct
+	// pattern with an outermost node loop).
+	InterchangeLegal      bool
+	InterchangeBlockElems int64
 }
 
-// Report summarizes a whole run.
+// Report summarizes a whole Apply.
 type Report struct {
 	Sites []SiteReport
 }
@@ -120,75 +312,13 @@ func (r *Report) String() string {
 	return out
 }
 
-// Transform parses src, transforms every transformable MPI_ALLTOALL site,
-// and returns the rewritten source plus a report. Untransformable sites are
-// reported, not fatal; the error is non-nil only for parse failures or
-// option errors.
-func Transform(src string, opts Options) (string, *Report, error) {
-	file, err := ftn.Parse(src)
-	if err != nil {
-		return "", nil, err
+// applyPlan rewrites the AST in place according to the plan.
+func applyPlan(file *ftn.File, pl *plan.Plan, opts AnalyzeOptions) (*Report, error) {
+	np := pl.NP
+	if np == 0 {
+		np = opts.NP
 	}
-	report, err := TransformFile(file, opts)
-	if err != nil {
-		return "", report, err
-	}
-	return ftn.Print(file), report, nil
-}
-
-// Retiler re-applies the transformation to one source at different tile
-// sizes without re-parsing it: the file is parsed once, every requested K
-// transforms a fresh clone of that AST, and outcomes are memoized per K so
-// a tuning search can revisit a candidate for free. The K of the Options
-// passed at construction is ignored; everything else (NP, oracle, wait
-// schedule, interchange gate) applies to every retile.
-type Retiler struct {
-	file *ftn.File
-	opts Options
-	memo map[int64]retiled
-}
-
-type retiled struct {
-	src string
-	rep *Report
-	err error
-}
-
-// NewRetiler parses src once for subsequent Retile calls.
-func NewRetiler(src string, opts Options) (*Retiler, error) {
-	file, err := ftn.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return &Retiler{file: file, opts: opts, memo: map[int64]retiled{}}, nil
-}
-
-// Retile transforms the parsed program at tile size k. Like Transform, a
-// site that cannot be transformed at this K is reported (TransformedCount
-// 0), not an error.
-func (rt *Retiler) Retile(k int64) (string, *Report, error) {
-	if r, ok := rt.memo[k]; ok {
-		return r.src, r.rep, r.err
-	}
-	clone := ftn.CloneFile(rt.file)
-	opts := rt.opts
-	opts.K = k
-	rep, err := TransformFile(clone, opts)
-	r := retiled{rep: rep, err: err}
-	if err == nil {
-		r.src = ftn.Print(clone)
-	}
-	rt.memo[k] = r
-	return r.src, r.rep, r.err
-}
-
-// TransformFile rewrites the AST in place.
-func TransformFile(file *ftn.File, opts Options) (*Report, error) {
-	if opts.K <= 0 {
-		opts.K = DefaultOptions().K
-	}
-	aopts := analysis.Options{Oracle: opts.Oracle, NP: int(opts.NP)}
-	topts := transform.Options{K: opts.K, NP: opts.NP, PerTileWait: opts.PerTileWait}
+	aopts := analysis.Options{Oracle: opts.Oracle, NP: int(np)}
 	report := &Report{}
 
 	// Sites are transformed one at a time; each transformation removes its
@@ -216,11 +346,13 @@ func TransformFile(file *ftn.File, opts Options) (*Report, error) {
 			break
 		}
 		pos := op.Call.Stmt.Pos()
+		dec := pl.For(pos.String())
+		legal, blockElems := op.InterchangeOK, op.InterchangeBlockElems
 
 		interchanged := false
 		if op.Pattern == analysis.PatternDirect &&
 			op.NodeCase == analysis.NodeLoopOutermost && op.InterchangeOK &&
-			interchangeWorthwhile(opts, op) {
+			interchangeWanted(dec, op) {
 			if err := transform.Interchange(op); err == nil {
 				interchanged = true
 				// Re-analyze: loop order (and hence the node-loop case)
@@ -237,6 +369,7 @@ func TransformFile(file *ftn.File, opts Options) (*Report, error) {
 					rejected[pos] = true
 					report.Sites = append(report.Sites, SiteReport{
 						Pos: pos, Reason: "site no longer analyzable after interchange",
+						Decision: dec, InterchangeLegal: legal, InterchangeBlockElems: blockElems,
 					})
 					continue
 				}
@@ -244,14 +377,23 @@ func TransformFile(file *ftn.File, opts Options) (*Report, error) {
 		}
 
 		if !interchanged {
-			// Either interchange is illegal or the granularity gate chose
-			// the subset-send fallback; Apply must not see a pending flag.
+			// Either interchange is illegal or the plan (gate or explicit
+			// "off") chose the subset-send fallback; transform.Apply must
+			// not see a pending flag.
 			op.InterchangeOK = false
+		}
+		topts := transform.Options{
+			K: dec.K, NP: np,
+			PerTileWait: dec.Wait == plan.WaitPerTile,
+			NoStagger:   dec.SendOrder == plan.SendSequential,
 		}
 		res, err := transform.Apply(op, topts)
 		if err != nil {
 			rejected[pos] = true
-			sr := SiteReport{Pos: pos, Pattern: op.Pattern, NodeCase: op.NodeCase, Notes: op.Notes}
+			sr := SiteReport{
+				Pos: pos, Pattern: op.Pattern, NodeCase: op.NodeCase, Notes: op.Notes,
+				Decision: dec, InterchangeLegal: legal, InterchangeBlockElems: blockElems,
+			}
 			if te, ok := err.(*transform.Error); ok {
 				sr.Reason = te.Msg
 			} else {
@@ -264,19 +406,26 @@ func TransformFile(file *ftn.File, opts Options) (*Report, error) {
 		report.Sites = append(report.Sites, SiteReport{
 			Pos: pos, Transformed: true, Pattern: op.Pattern,
 			NodeCase: op.NodeCase, Result: res, Notes: op.Notes,
+			Decision: dec, InterchangeLegal: legal, InterchangeBlockElems: blockElems,
 		})
 	}
 	return report, nil
 }
 
-// interchangeWorthwhile applies the message-granularity gate.
-func interchangeWorthwhile(opts Options, op *analysis.Opportunity) bool {
-	min := opts.InterchangeMinBlockBytes
-	if min < 0 {
+// interchangeWanted applies the plan's interchange knob to a legal
+// interchange candidate: "on" takes it unconditionally, "off" never, "auto"
+// weighs the message granularity (blockElems × K × 4 bytes) against the
+// gate threshold.
+func interchangeWanted(dec plan.Decision, op *analysis.Opportunity) bool {
+	switch dec.Interchange {
+	case plan.InterchangeOn:
+		return true
+	case plan.InterchangeOff:
 		return false
 	}
+	min := dec.InterchangeMinBlockBytes
 	if min == 0 {
-		min = defaultInterchangeMinBlock
+		min = plan.DefaultInterchangeMinBlockBytes
 	}
-	return op.InterchangeBlockElems*opts.K*4 >= min
+	return op.InterchangeBlockElems*dec.K*4 >= min
 }

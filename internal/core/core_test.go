@@ -11,6 +11,7 @@ import (
 	"repro/internal/ftn"
 	"repro/internal/interp"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 )
 
 func readTestdata(t *testing.T, name string) string {
@@ -256,59 +257,214 @@ func TestIdempotentParsePrint(t *testing.T) {
 	}
 }
 
-// TestRetilerMatchesTransform: retiling at K must produce exactly what a
-// fresh Transform at that K produces, for every K the transform accepts —
-// the property the tuner's pipeline reuse depends on.
-func TestRetilerMatchesTransform(t *testing.T) {
+// TestPipelineGoldenEquivalence is the redesign's conformance proof: for
+// every testdata fixture, Analyze → Plan → Apply must emit byte-identical
+// source to the old one-shot path — whose reviewed outputs are the
+// committed *_after.f90 goldens — both via the Options shim and via a
+// Default(machine) plan with the fixture's K.
+func TestPipelineGoldenEquivalence(t *testing.T) {
+	cases := []struct {
+		before, golden string
+		k              int64
+	}{
+		{"figure2_before.f90", "figure2_after.f90", 4},
+		{"figure3_before.f90", "figure3_after.f90", 2},
+	}
+	for _, c := range cases {
+		src := readTestdata(t, c.before)
+		want := readTestdata(t, c.golden)
+		prog, err := core.Analyze(src, core.AnalyzeOptions{})
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", c.before, err)
+		}
+
+		// Via the Options shim (the legacy one-shot surface).
+		got, rep, err := core.Apply(prog, core.Options{K: c.k}.Plan())
+		if err != nil {
+			t.Fatalf("%s: apply(shim plan): %v", c.before, err)
+		}
+		if rep.TransformedCount() != 1 {
+			t.Fatalf("%s: shim plan did not fire:\n%s", c.before, rep)
+		}
+		if got != want {
+			t.Errorf("%s: Apply(Options{K:%d}.Plan()) differs from golden %s", c.before, c.k, c.golden)
+		}
+
+		// Via a machine-default plan with the fixture's K: same bytes.
+		pl := plan.Default(plan.MPICHGM2005())
+		pl.Default.K = c.k
+		got2, _, err := core.Apply(prog, pl)
+		if err != nil {
+			t.Fatalf("%s: apply(default plan): %v", c.before, err)
+		}
+		if got2 != want {
+			t.Errorf("%s: Apply(plan.Default) differs from golden %s", c.before, c.golden)
+		}
+
+		// And the plan survives a JSON round trip without changing output.
+		b, err := pl.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := plan.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got3, _, err := core.Apply(prog, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got3 != want {
+			t.Errorf("%s: Apply(decoded plan) differs from golden %s", c.before, c.golden)
+		}
+	}
+}
+
+// TestAnalyzeSites: Analyze surfaces per-site facts a planner needs.
+func TestAnalyzeSites(t *testing.T) {
 	src := readTestdata(t, "figure2_before.f90")
-	rt, err := core.NewRetiler(src, core.Options{})
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(prog.Sites))
+	}
+	s := prog.Sites[0]
+	if !s.Transformable {
+		t.Fatalf("site not transformable: %s", s.Reason)
+	}
+	if s.PartitionSize != 8 { // nx=64, np=8
+		t.Errorf("partition size %d, want 8", s.PartitionSize)
+	}
+	if s.TripCount != 64 {
+		t.Errorf("trip count %d, want 64", s.TripCount)
+	}
+	if s.PerIterBytes <= 0 {
+		t.Errorf("per-iteration bytes %d, want > 0", s.PerIterBytes)
+	}
+	if prog.Site(s.Key()) == nil {
+		t.Errorf("Site(%q) did not resolve", s.Key())
+	}
+	if prog.Source() != src {
+		t.Error("Program.Source() does not round-trip the input")
+	}
+}
+
+// TestApplyMatchesTransform: applying a uniform plan at K must produce
+// exactly what a fresh Transform at that K produces, for every K the
+// transform accepts — the property the tuner's pipeline reuse depends on.
+func TestApplyMatchesTransform(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range []int64{2, 4, 8} {
-		got, grep, err := rt.Retile(k)
+		got, grep, err := core.Apply(prog, core.Options{K: k}.Plan())
 		if err != nil {
-			t.Fatalf("retile K=%d: %v", k, err)
+			t.Fatalf("apply K=%d: %v", k, err)
 		}
 		want, wrep, err := core.Transform(src, core.Options{K: k})
 		if err != nil {
 			t.Fatalf("transform K=%d: %v", k, err)
 		}
 		if got != want {
-			t.Errorf("K=%d: retiled source differs from Transform output", k)
+			t.Errorf("K=%d: applied source differs from Transform output", k)
 		}
 		if grep.TransformedCount() != wrep.TransformedCount() {
 			t.Errorf("K=%d: transformed %d sites, want %d", k, grep.TransformedCount(), wrep.TransformedCount())
 		}
 	}
-	// Memoization: the same K returns the identical report pointer.
-	_, r1, _ := rt.Retile(4)
-	_, r2, _ := rt.Retile(4)
+	// Memoization: an equivalent plan returns the identical report pointer.
+	_, r1, _ := core.Apply(prog, core.Options{K: 4}.Plan())
+	_, r2, _ := core.Apply(prog, plan.Uniform(plan.Decision{K: 4}))
 	if r1 != r2 {
-		t.Error("retile memo did not hit on repeated K")
+		t.Error("apply memo did not hit on an equivalent plan")
 	}
 }
 
-// TestRetilerRejectsBadK: a K the transformation cannot honor is reported,
-// not fatal, and does not poison other Ks.
-func TestRetilerRejectsBadK(t *testing.T) {
+// TestApplyRejectsBadPlans: an invalid plan is an error; a K the
+// transformation cannot honor is reported, not fatal, and does not poison
+// other plans.
+func TestApplyRejectsBadPlans(t *testing.T) {
 	src := readTestdata(t, "figure2_before.f90") // psz = 8
-	rt, err := core.NewRetiler(src, core.Options{})
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rep, err := rt.Retile(3) // does not divide the partition size
+	if _, _, err := core.Apply(prog, &plan.Plan{Schema: "bogus", Default: plan.Decision{K: 4}}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	if _, _, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 8, Wait: "sometimes"})); err == nil {
+		t.Error("invalid wait schedule accepted")
+	}
+	_, rep, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 3})) // does not divide psz
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.TransformedCount() != 0 {
 		t.Error("K=3 should not transform (does not divide psz)")
 	}
-	_, rep, err = rt.Retile(8)
+	_, rep, err = core.Apply(prog, plan.Uniform(plan.Decision{K: 8}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.TransformedCount() != 1 {
 		t.Errorf("K=8 should transform after a rejected K:\n%s", rep)
+	}
+}
+
+// TestPlanKnobsChangeCodegen: the non-K knobs actually steer the generated
+// code — per-site, through a serializable plan.
+func TestPlanKnobsChangeCodegen(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, rep, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 4}))
+	if err != nil || rep.TransformedCount() != 1 {
+		t.Fatalf("base apply failed: %v\n%s", err, rep)
+	}
+	if !strings.Contains(base, "staggered subset-send traversal") {
+		t.Fatal("default plan should stagger this kernel")
+	}
+
+	seq, _, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 4, SendOrder: plan.SendSequential}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(seq, "staggered subset-send traversal") {
+		t.Error("send_order sequential still staggered")
+	}
+	if seq == base {
+		t.Error("send_order knob changed nothing")
+	}
+
+	perTile, _, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 4, Wait: plan.WaitPerTile}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perTile == base {
+		t.Error("wait knob changed nothing")
+	}
+
+	// A per-site decision overrides the default for that site only.
+	sitePlan := plan.Uniform(plan.Decision{K: 4})
+	sitePlan.Set(prog.Sites[0].Key(), plan.Decision{K: 8})
+	persite, rep, err := core.Apply(prog, sitePlan)
+	if err != nil || rep.TransformedCount() != 1 {
+		t.Fatalf("per-site apply failed: %v", err)
+	}
+	want, _, err := core.Apply(prog, plan.Uniform(plan.Decision{K: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persite != want {
+		t.Error("per-site decision did not apply")
+	}
+	if rep.Sites[0].Decision.K != 8 {
+		t.Errorf("report decision K=%d, want 8", rep.Sites[0].Decision.K)
 	}
 }

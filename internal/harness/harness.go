@@ -3,7 +3,7 @@
 // untransformed program on the simulated cluster, applies the pre-push
 // transformation, executes the transformed program identically, asserts
 // bit-identical observable results (the correctness oracle of the paper's
-// §4 protocol), and reports simulated makespans under each network profile.
+// §4 protocol), and reports simulated makespans under each machine model.
 // The sweep is the repository's regression gate: a transformation change
 // that corrupts results or loses the overlap gain fails it.
 package harness
@@ -21,23 +21,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 	"repro/internal/tune"
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout. v2 adds the tuned-mode fields
-// (per-scenario chosen K and tuned speedup, per-profile summary rows with
-// the offload flag) and the non-positive-speedup counters.
-const Schema = "repro/bench-harness/v2"
+// Schema identifies the JSON artifact layout. v3 moves the sweep onto the
+// Plan/Apply pipeline: profiles become named machine models, every scenario
+// records the plan its fixed run replayed, tuned rows record the full
+// chosen plan decision (K plus wait schedule, send order, and interchange
+// gate), and outcomes carry their corpus index so sharded sweeps merge
+// deterministically.
+const Schema = "repro/bench-harness/v3"
 
 // Config parameterizes one sweep.
 type Config struct {
 	// Scenarios is the corpus; empty means the full generated default
 	// corpus (workload.GenerateScenarios with seed 0).
 	Scenarios []workload.Scenario
-	// Profiles are the network stacks to measure under; empty means the
-	// paper's pair: MPICH-TCP (host progress) and MPICH-GM (NIC offload).
-	Profiles []netsim.Profile
+	// Machines are the machine models to measure under; empty means the
+	// paper's pair: mpich-tcp-2005 (host progress) and mpich-gm-2005 (NIC
+	// offload). A scenario's Costs override applies on top of each
+	// machine's CPU cost model.
+	Machines []plan.Machine
 	// Parallelism bounds concurrent scenario workers; <= 0 means
 	// GOMAXPROCS. Results are deterministic regardless of the value: each
 	// scenario is self-contained and results are collected by index.
@@ -47,16 +53,20 @@ type Config struct {
 	// every corpus kernel exposes. The send array is excluded because the
 	// indirect transformation legally makes it dead (§3.4).
 	Arrays []string
-	// Tune enables the per-(scenario, profile) tile-size search: next to
-	// the fixed-K measurement, internal/tune picks K automatically and the
-	// outcome records the chosen K, the tuned speedup, and the search cost.
+	// Tune enables the per-(scenario, machine) plan search: next to the
+	// fixed-K measurement, internal/tune picks the whole plan decision —
+	// K, wait schedule, send order, interchange gate — and the outcome
+	// records the chosen plan, the tuned speedup, and the search cost.
 	Tune bool
-	// TuneMaxMeasured caps measured candidates per (scenario, profile);
+	// TuneMaxMeasured caps measured candidates per (scenario, machine);
 	// <= 0 selects tune.DefaultMaxMeasured.
 	TuneMaxMeasured int
+	// TuneKOnly restricts the search to the tile size (the historical
+	// K-only tuner), for ablation sweeps.
+	TuneKOnly bool
 }
 
-// ProfileRun is one (scenario, profile) differential measurement.
+// ProfileRun is one (scenario, machine) differential measurement.
 type ProfileRun struct {
 	Profile    string  `json:"profile"`
 	Offload    bool    `json:"offload"`
@@ -77,6 +87,7 @@ type ProfileRun struct {
 
 // Outcome is one scenario's full differential result.
 type Outcome struct {
+	Index     int    `json:"index"` // position in the full corpus
 	Name      string `json:"name"`
 	Family    string `json:"family"`
 	NP        int    `json:"np"`
@@ -85,32 +96,39 @@ type Outcome struct {
 	PairBytes int64  `json:"pair_bytes"`
 	Regime    string `json:"regime"` // eager | rendezvous
 
+	// Plan is the uniform decision the fixed measurement replayed (built
+	// from the scenario's K by the core.Options shim).
+	Plan plan.Decision `json:"plan"`
+
 	TransformedSites int  `json:"transformed_sites"`
 	Interchanged     bool `json:"interchanged"`
 
 	// Identical is the correctness oracle verdict: bit-identical printed
-	// output and observable arrays under every profile.
+	// output and observable arrays under every machine.
 	Identical bool   `json:"identical"`
 	Mismatch  string `json:"mismatch,omitempty"`
 	Err       string `json:"error,omitempty"`
 
 	Profiles []ProfileRun `json:"profiles"`
 
-	// Tuned holds the per-profile tile-size search results (tuned mode
-	// only): chosen K, tuned speedup, and search cost.
+	// Tuned holds the per-machine plan-search results (tuned mode only):
+	// the chosen plan decision, tuned speedup, and search cost.
 	Tuned []TunedRun `json:"tuned,omitempty"`
 }
 
-// TunedRun is one (scenario, profile) auto-tuning result. Every candidate
+// TunedRun is one (scenario, machine) plan-search result. Every candidate
 // the search measured passed the same bit-identical oracle as the fixed-K
-// run; the chosen K is always at least as fast as the fixed K.
+// run; the chosen plan is always at least as fast as the fixed K.
 type TunedRun struct {
-	Profile      string  `json:"profile"`
-	Offload      bool    `json:"offload"`
-	ChosenK      int64   `json:"chosen_k"`
-	TunedSpeedup float64 `json:"tuned_speedup"`
-	TunedNs      int64   `json:"tuned_prepush_ns"`
-	FixedSpeedup float64 `json:"fixed_speedup"`
+	Profile string `json:"profile"`
+	Offload bool   `json:"offload"`
+	// Plan is the chosen decision: tile size plus the non-K knobs (wait
+	// schedule, send order, interchange gate).
+	Plan         plan.Decision `json:"plan"`
+	ChosenK      int64         `json:"chosen_k"`
+	TunedSpeedup float64       `json:"tuned_speedup"`
+	TunedNs      int64         `json:"tuned_prepush_ns"`
+	FixedSpeedup float64       `json:"fixed_speedup"`
 	// Search cost: measured pre-push runs and the simulated time they took.
 	Evaluations int   `json:"evaluations"`
 	SearchSimNs int64 `json:"search_sim_ns"`
@@ -121,33 +139,38 @@ type Summary struct {
 	Scenarios int `json:"scenarios"`
 	Correct   int `json:"correct"` // scenarios passing the oracle
 	Errors    int `json:"errors"`
-	// GeomeanSpeedup maps profile name → geometric-mean original/prepush
+	// GeomeanSpeedup maps machine name → geometric-mean original/prepush
 	// makespan ratio over clean scenarios (error-free AND oracle-passing).
 	GeomeanSpeedup map[string]float64 `json:"geomean_speedup"`
-	// PerProfile carries the per-profile aggregates with the facts gates
+	// PerProfile carries the per-machine aggregates with the facts gates
 	// need (the offload flag, tuned geomeans, pathology counters), sorted
-	// by profile name.
+	// by machine name.
 	PerProfile []ProfileSummary `json:"per_profile"`
-	// NonPositive counts (scenario, profile) measurements with a
+	// NonPositive counts (scenario, machine) measurements with a
 	// non-positive speedup — a zero or negative makespan pathology. Such
 	// entries are excluded from the geomeans but must fail the run: silently
 	// dropping them would inflate the aggregate.
 	NonPositive int `json:"non_positive_speedups"`
 	// OffloadGained counts clean scenarios (once each) whose prepush run
-	// is at least as fast as the original on some offload profile.
+	// is at least as fast as the original on some offload machine.
 	OffloadGained int `json:"offload_gained"`
+	// NonDefaultPlans counts tuned rows whose chosen plan differs from the
+	// fixed decision in a non-K knob (wait schedule, send order, or
+	// interchange gate) — the signal that the multi-knob search is finding
+	// wins the K-only tuner could not.
+	NonDefaultPlans int `json:"non_default_plans"`
 }
 
-// ProfileSummary is one profile's aggregate row.
+// ProfileSummary is one machine's aggregate row.
 type ProfileSummary struct {
 	Profile string `json:"profile"`
-	// Offload is taken from the measured profile runs, so gates can key on
-	// the stack's capability instead of hard-coding profile names.
+	// Offload is taken from the measured machine runs, so gates can key on
+	// the stack's capability instead of hard-coding machine names.
 	Offload bool    `json:"offload"`
 	Geomean float64 `json:"geomean_speedup"`
 	// TunedGeomean is the geometric-mean tuned speedup (tuned mode only).
 	TunedGeomean float64 `json:"tuned_geomean_speedup,omitempty"`
-	// NonPositive counts this profile's non-positive speedup measurements.
+	// NonPositive counts this machine's non-positive speedup measurements.
 	NonPositive int `json:"non_positive_speedups"`
 }
 
@@ -166,9 +189,9 @@ func Run(cfg Config) (*Report, error) {
 	if len(scenarios) == 0 {
 		scenarios = workload.GenerateScenarios(workload.GenOptions{})
 	}
-	profiles := cfg.Profiles
-	if len(profiles) == 0 {
-		profiles = []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()}
+	machines := cfg.Machines
+	if len(machines) == 0 {
+		machines = plan.PaperPair()
 	}
 	arrays := cfg.Arrays
 	if len(arrays) == 0 {
@@ -193,7 +216,7 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outcomes[i] = runScenario(scenarios[i], profiles, arrays, cfg)
+				outcomes[i] = runScenario(scenarios[i], machines, arrays, cfg)
 			}
 		}()
 	}
@@ -208,21 +231,42 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// machinesFor overlays the scenario's cost-model override (if any) onto the
+// sweep's machine models.
+func machinesFor(sc workload.Scenario, machines []plan.Machine) []plan.Machine {
+	if sc.Costs == nil {
+		return machines
+	}
+	out := make([]plan.Machine, len(machines))
+	for i, m := range machines {
+		m.Costs = *sc.Costs
+		out[i] = m
+	}
+	return out
+}
+
 // runScenario executes the full differential chain for one scenario.
-func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []string, cfg Config) Outcome {
+func runScenario(sc workload.Scenario, machines []plan.Machine, arrays []string, cfg Config) Outcome {
+	fixedPlan := core.Options{K: sc.K}.Plan()
 	out := Outcome{
-		Name: sc.Name, Family: sc.Family, NP: sc.NP, K: sc.K, Seed: sc.Seed,
-		PairBytes: sc.PairBytes, Regime: sc.Regime,
+		Index: sc.Index, Name: sc.Name, Family: sc.Family, NP: sc.NP, K: sc.K,
+		Seed: sc.Seed, PairBytes: sc.PairBytes, Regime: sc.Regime,
+		Plan: fixedPlan.Default,
 	}
 	fail := func(format string, args ...interface{}) Outcome {
 		out.Err = fmt.Sprintf(format, args...)
 		return out
 	}
+	machines = machinesFor(sc, machines)
 
-	// 1. Transform (parse → analyze → rewrite → unparse).
-	transformed, rep, err := core.Transform(sc.Source, core.Options{K: sc.K})
+	// 1. Analyze (parse + per-site opportunities) and apply the fixed plan.
+	prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
 	if err != nil {
-		return fail("transform: %v", err)
+		return fail("analyze: %v", err)
+	}
+	transformed, rep, err := core.Apply(prog, fixedPlan)
+	if err != nil {
+		return fail("apply: %v", err)
 	}
 	out.TransformedSites = rep.TransformedCount()
 	out.Interchanged = rep.AnyInterchanged()
@@ -230,9 +274,9 @@ func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []strin
 		return fail("transform did not fire: %s", rep.FirstRejection())
 	}
 
-	// 2–5. Run both variants under every profile; assert identical results.
+	// 2–5. Run both variants under every machine; assert identical results.
 	out.Identical = true
-	for _, prof := range profiles {
+	for _, m := range machines {
 		var results [2]*interp.Result
 		var times [2]netsim.Time
 		var blocked [2]netsim.Time
@@ -240,14 +284,12 @@ func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []strin
 		for vi, text := range []string{sc.Source, transformed} {
 			prog, err := interp.Load(text)
 			if err != nil {
-				return fail("load %s variant %d: %v", prof.Name, vi, err)
+				return fail("load %s variant %d: %v", m.Name, vi, err)
 			}
-			if sc.Costs != nil {
-				prog.Costs = *sc.Costs
-			}
-			res, err := prog.Run(sc.NP, prof)
+			prog.Costs = m.Costs
+			res, err := prog.Run(sc.NP, m.Profile)
 			if err != nil {
-				return fail("run %s variant %d: %v", prof.Name, vi, err)
+				return fail("run %s variant %d: %v", m.Name, vi, err)
 			}
 			results[vi] = res
 			times[vi] = res.Elapsed()
@@ -257,7 +299,7 @@ func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []strin
 			bytes[vi] = res.Stats.Bytes
 		}
 		pr := ProfileRun{
-			Profile: prof.Name, Offload: prof.Offload,
+			Profile: m.Name, Offload: m.Profile.Offload,
 			OriginalNs: int64(times[0]), PrepushNs: int64(times[1]),
 			OriginalBlockedNs: int64(blocked[0]), PrepushBlockedNs: int64(blocked[1]),
 			OriginalMessages: msgs[0], PrepushMessages: msgs[1],
@@ -270,30 +312,107 @@ func runScenario(sc workload.Scenario, profiles []netsim.Profile, arrays []strin
 		if same, why := interp.SameObservable(results[0], results[1], arrays...); !same {
 			out.Identical = false
 			if out.Mismatch == "" {
-				out.Mismatch = fmt.Sprintf("%s: %s", prof.Name, why)
+				out.Mismatch = fmt.Sprintf("%s: %s", m.Name, why)
 			}
 		}
 	}
 
-	// Tuned mode: search K per profile next to the fixed-K measurement.
+	// Tuned mode: search plan space per machine next to the fixed-K
+	// measurement.
 	if cfg.Tune && out.Identical {
 		choices, err := tune.Tune(
-			tune.Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles},
-			tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: arrays, Costs: sc.Costs},
+			tune.Input{Source: sc.Source, Program: prog, NP: sc.NP, FixedK: sc.K, Machines: machines},
+			tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: arrays, KOnly: cfg.TuneKOnly},
 		)
 		if err != nil {
 			return fail("tune: %v", err)
 		}
 		for _, c := range choices {
 			out.Tuned = append(out.Tuned, TunedRun{
-				Profile: c.Profile, Offload: c.Offload,
-				ChosenK: c.ChosenK, TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
+				Profile: c.Machine, Offload: c.Offload,
+				Plan: c.Chosen, ChosenK: c.Chosen.K,
+				TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
 				FixedSpeedup: c.FixedSpeedup,
 				Evaluations:  c.Evaluations, SearchSimNs: c.SearchSimNs,
 			})
 		}
 	}
 	return out
+}
+
+// Merge folds sharded sweep reports into one, deterministically: outcomes
+// are reordered by corpus index (ties by name), the summary is recomputed
+// from the union, and inconsistent shards are rejected — overlapping
+// corpus indices, foreign schemas, or shards swept under different
+// machine sets, corpus seeds, or tune modes (any of which would make the
+// recomputed aggregates silently meaningless).
+func Merge(reports []*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("harness: nothing to merge")
+	}
+	var outcomes []Outcome
+	for i, r := range reports {
+		if r.Schema != Schema {
+			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q", i, r.Schema, Schema)
+		}
+		outcomes = append(outcomes, r.Scenarios...)
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		if outcomes[i].Index != outcomes[j].Index {
+			return outcomes[i].Index < outcomes[j].Index
+		}
+		return outcomes[i].Name < outcomes[j].Name
+	})
+	machines, seed, tuned := "", int64(-1), false
+	for i := range outcomes {
+		o := &outcomes[i]
+		if i > 0 && o.Index == outcomes[i-1].Index {
+			return nil, fmt.Errorf("harness: merge saw corpus index %d twice (%s and %s) — overlapping shards?",
+				o.Index, outcomes[i-1].Name, o.Name)
+		}
+		if seed == -1 {
+			seed = o.Seed
+		} else if o.Seed != seed {
+			return nil, fmt.Errorf("harness: merge mixes corpus seeds %d and %d (%s)", seed, o.Seed, o.Name)
+		}
+		if o.Err != "" {
+			continue // an errored outcome carries no machine rows
+		}
+		var names []string
+		for _, pr := range o.Profiles {
+			names = append(names, pr.Profile)
+		}
+		ms := strings.Join(names, ",")
+		if machines == "" {
+			machines, tuned = ms, len(o.Tuned) > 0
+			continue
+		}
+		if ms != machines {
+			return nil, fmt.Errorf("harness: merge mixes machine sets [%s] and [%s] (%s)", machines, ms, o.Name)
+		}
+		if (len(o.Tuned) > 0) != tuned {
+			return nil, fmt.Errorf("harness: merge mixes tuned and untuned shards (%s)", o.Name)
+		}
+	}
+	rep := &Report{Schema: Schema, Scenarios: outcomes}
+	rep.Summary = summarize(outcomes)
+	return rep, nil
+}
+
+// ReadJSON loads a report artifact and checks its schema.
+func ReadJSON(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
 }
 
 // summarize folds outcomes into the aggregate verdicts.
@@ -352,6 +471,9 @@ func summarize(outcomes []Outcome) Summary {
 				a.nonPositive++
 				s.NonPositive++
 			}
+			if diffInNonKKnob(o.Plan, tr.Plan) {
+				s.NonDefaultPlans++
+			}
 		}
 		if gained {
 			s.OffloadGained++
@@ -377,6 +499,15 @@ func summarize(outcomes []Outcome) Summary {
 	return s
 }
 
+// diffInNonKKnob reports whether two decisions disagree beyond the tile
+// size.
+func diffInNonKKnob(a, b plan.Decision) bool {
+	a, b = a.Normalize(), b.Normalize()
+	return a.Wait != b.Wait || a.SendOrder != b.SendOrder ||
+		a.Interchange != b.Interchange ||
+		a.InterchangeMinBlockBytes != b.InterchangeMinBlockBytes
+}
+
 // WriteJSON writes the report artifact (pretty-printed, trailing newline).
 func (r *Report) WriteJSON(path string) error {
 	b, err := json.MarshalIndent(r, "", "  ")
@@ -386,9 +517,9 @@ func (r *Report) WriteJSON(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// Table renders the per-scenario results as an aligned text table, profiles
+// Table renders the per-scenario results as an aligned text table, machines
 // sorted as configured, scenarios in corpus order. In tuned mode two extra
-// columns show the chosen K and the tuned speedup.
+// columns show the chosen plan and the tuned speedup.
 func (r *Report) Table() string {
 	tuned := false
 	for _, o := range r.Scenarios {
@@ -398,10 +529,10 @@ func (r *Report) Table() string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-34s %-10s %6s %5s  %-10s %12s %12s %8s",
-		"scenario", "regime", "np", "K", "profile", "original", "prepush", "speedup")
+	fmt.Fprintf(&sb, "%-34s %-10s %6s %5s  %-14s %12s %12s %8s",
+		"scenario", "regime", "np", "K", "machine", "original", "prepush", "speedup")
 	if tuned {
-		fmt.Fprintf(&sb, " %7s %7s", "tunedK", "tuned")
+		fmt.Fprintf(&sb, " %-20s %7s", "tuned plan", "tuned")
 	}
 	fmt.Fprintf(&sb, "  %s\n", "oracle")
 	for _, o := range r.Scenarios {
@@ -419,14 +550,14 @@ func (r *Report) Table() string {
 			if i > 0 {
 				name, regime, v = "", "", ""
 			}
-			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  %-10s %12s %12s %8.2f",
+			fmt.Fprintf(&sb, "%-34s %-10s %6d %5d  %-14s %12s %12s %8.2f",
 				name, regime, o.NP, o.K, pr.Profile,
 				netsim.Time(pr.OriginalNs), netsim.Time(pr.PrepushNs), pr.Speedup)
 			if tuned {
 				if tr := o.tunedFor(pr.Profile); tr != nil {
-					fmt.Fprintf(&sb, " %7d %7.2f", tr.ChosenK, tr.TunedSpeedup)
+					fmt.Fprintf(&sb, " %-20s %7.2f", describePlan(tr.Plan), tr.TunedSpeedup)
 				} else {
-					fmt.Fprintf(&sb, " %7s %7s", "-", "-")
+					fmt.Fprintf(&sb, " %-20s %7s", "-", "-")
 				}
 			}
 			fmt.Fprintf(&sb, "  %s\n", v)
@@ -438,8 +569,12 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&sb, "WARNING: %d non-positive speedup measurement(s) excluded from geomeans\n",
 			r.Summary.NonPositive)
 	}
+	if r.Summary.NonDefaultPlans > 0 {
+		fmt.Fprintf(&sb, "%d tuned plan(s) differ from the default in a non-K knob\n",
+			r.Summary.NonDefaultPlans)
+	}
 	for _, ps := range r.Summary.PerProfile {
-		fmt.Fprintf(&sb, "geomean speedup %-10s %.3f", ps.Profile, ps.Geomean)
+		fmt.Fprintf(&sb, "geomean speedup %-14s %.3f", ps.Profile, ps.Geomean)
 		if ps.TunedGeomean > 0 {
 			fmt.Fprintf(&sb, "   tuned %.3f", ps.TunedGeomean)
 		}
@@ -451,7 +586,27 @@ func (r *Report) Table() string {
 	return sb.String()
 }
 
-// tunedFor returns the tuned result for the named profile, or nil.
+// describePlan renders a decision compactly for the table, e.g.
+// "K=8" or "K=8+per-tile+seq+int:off".
+func describePlan(d plan.Decision) string {
+	d = d.Normalize()
+	s := fmt.Sprintf("K=%d", d.K)
+	if d.Wait == plan.WaitPerTile {
+		s += "+per-tile"
+	}
+	if d.SendOrder == plan.SendSequential {
+		s += "+seq"
+	}
+	switch d.Interchange {
+	case plan.InterchangeOn:
+		s += "+int:on"
+	case plan.InterchangeOff:
+		s += "+int:off"
+	}
+	return s
+}
+
+// tunedFor returns the tuned result for the named machine, or nil.
 func (o *Outcome) tunedFor(profile string) *TunedRun {
 	for i := range o.Tuned {
 		if o.Tuned[i].Profile == profile {

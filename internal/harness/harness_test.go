@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -205,8 +206,11 @@ func TestTunedSweep(t *testing.T) {
 			if tr.Profile != pr.Profile || tr.Offload != pr.Offload {
 				t.Errorf("%s: tuned row %d mismatched profile metadata", o.Name, i)
 			}
-			if tr.ChosenK < 1 {
-				t.Errorf("%s/%s: chosen K=%d", o.Name, tr.Profile, tr.ChosenK)
+			if tr.ChosenK < 1 || tr.Plan.K != tr.ChosenK {
+				t.Errorf("%s/%s: chosen plan %+v vs chosen_k %d", o.Name, tr.Profile, tr.Plan, tr.ChosenK)
+			}
+			if err := tr.Plan.Validate(); err != nil {
+				t.Errorf("%s/%s: chosen plan invalid: %v", o.Name, tr.Profile, err)
 			}
 			if tr.TunedSpeedup+1e-12 < pr.Speedup {
 				t.Errorf("%s/%s: tuned speedup %.4f below fixed %.4f",
@@ -227,8 +231,139 @@ func TestTunedSweep(t *testing.T) {
 				ps.Profile, ps.TunedGeomean, ps.Geomean)
 		}
 	}
-	if !strings.Contains(rep.Table(), "tunedK") {
-		t.Error("tuned table missing the chosen-K column")
+	if !strings.Contains(rep.Table(), "tuned plan") {
+		t.Error("tuned table missing the chosen-plan column")
+	}
+}
+
+// TestMergeShards: splitting a corpus into shards, sweeping each, and
+// merging must reproduce the unsharded report byte for byte.
+func TestMergeShards(t *testing.T) {
+	corpus := smallCorpus(t, 6)
+	whole, err := Run(Config{Scenarios: corpus, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Report
+	for s := 0; s < 2; s++ {
+		var part []workload.Scenario
+		for i, sc := range corpus {
+			if i%2 == s {
+				part = append(part, sc)
+			}
+		}
+		rep, err := Run(Config{Scenarios: part, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, rep)
+	}
+	// Merge in reverse order to prove the result is order-independent.
+	merged, err := Merge([]*Report{shards[1], shards[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(whole)
+	b, _ := json.Marshal(merged)
+	if string(a) != string(b) {
+		t.Errorf("merged report differs from the unsharded sweep:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMergeRejections: overlapping shards and foreign schemas must fail
+// loudly instead of silently double counting.
+func TestMergeRejections(t *testing.T) {
+	corpus := smallCorpus(t, 2)
+	rep, err := Run(Config{Scenarios: corpus, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]*Report{rep, rep}); err == nil {
+		t.Error("merging overlapping shards succeeded")
+	}
+	old := &Report{Schema: "repro/bench-harness/v2"}
+	if _, err := Merge([]*Report{rep, old}); err == nil {
+		t.Error("merging a v2 artifact succeeded")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("merging nothing succeeded")
+	}
+
+	// Shards swept under different machine sets, seeds, or tune modes must
+	// not fold into one aggregate.
+	reshape := func(mutate func(*Outcome)) *Report {
+		clone := *rep
+		clone.Scenarios = append([]Outcome(nil), rep.Scenarios...)
+		for i := range clone.Scenarios {
+			o := &clone.Scenarios[i]
+			o.Profiles = append([]ProfileRun(nil), o.Profiles...) // unshare
+			o.Index += len(rep.Scenarios)                         // disjoint indices
+			mutate(o)
+		}
+		return &clone
+	}
+	otherMachines := reshape(func(o *Outcome) {
+		for i := range o.Profiles {
+			o.Profiles[i].Profile = "hpc-rdma-2019"
+		}
+	})
+	if _, err := Merge([]*Report{rep, otherMachines}); err == nil {
+		t.Error("merging shards with different machine sets succeeded")
+	}
+	otherSeed := reshape(func(o *Outcome) { o.Seed = 7 })
+	if _, err := Merge([]*Report{rep, otherSeed}); err == nil {
+		t.Error("merging shards with different corpus seeds succeeded")
+	}
+	tunedShard := reshape(func(o *Outcome) {
+		o.Tuned = []TunedRun{{Profile: o.Profiles[0].Profile, TunedSpeedup: 1.1, Plan: plan.Decision{K: 4}.Normalize()}}
+	})
+	if _, err := Merge([]*Report{rep, tunedShard}); err == nil {
+		t.Error("merging tuned and untuned shards succeeded")
+	}
+}
+
+// TestReadJSONSchemaGate: ReadJSON refuses artifacts from other schema
+// versions.
+func TestReadJSONSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Config{Scenarios: smallCorpus(t, 1), Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := rep.WriteJSON(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(good); err != nil {
+		t.Errorf("ReadJSON rejected a fresh artifact: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"repro/bench-harness/v2"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(bad); err == nil {
+		t.Error("ReadJSON accepted a v2 artifact")
+	}
+}
+
+// TestNonDefaultPlanCounting: summarize must count tuned rows whose plan
+// differs from the fixed decision in a non-K knob — and only those.
+func TestNonDefaultPlanCounting(t *testing.T) {
+	fixed := plan.Decision{K: 8}.Normalize()
+	outcomes := []Outcome{
+		{
+			Name: "a", Identical: true, Plan: fixed,
+			Profiles: []ProfileRun{{Profile: "p", Speedup: 1.2}},
+			Tuned: []TunedRun{
+				{Profile: "p", TunedSpeedup: 1.3, Plan: plan.Decision{K: 4}.Normalize()},                                   // K-only change
+				{Profile: "q", TunedSpeedup: 1.4, Plan: plan.Decision{K: 8, Wait: plan.WaitPerTile}.Normalize()},           // non-K knob
+				{Profile: "r", TunedSpeedup: 1.1, Plan: plan.Decision{K: 2, Interchange: plan.InterchangeOff}.Normalize()}, // both
+			},
+		},
+	}
+	s := summarize(outcomes)
+	if s.NonDefaultPlans != 2 {
+		t.Errorf("NonDefaultPlans = %d, want 2", s.NonDefaultPlans)
 	}
 }
 

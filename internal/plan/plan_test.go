@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip: Encode → Decode must be the identity on a plan with a
+// default and per-site overrides.
+func TestJSONRoundTrip(t *testing.T) {
+	p := Default(MPICHGM2005())
+	p.NP = 8
+	p.Set("12:3", Decision{K: 4, Wait: WaitPerTile, SendOrder: SendSequential, Interchange: InterchangeOff})
+	p.Set("40:5", Decision{K: 16, Interchange: InterchangeOn}.Normalize())
+
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, b)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Errorf("round trip changed the plan:\nbefore %+v\nafter  %+v", p, back)
+	}
+	if back.Key() != p.Key() {
+		t.Errorf("round trip changed the key: %q vs %q", p.Key(), back.Key())
+	}
+}
+
+// TestDefaultPlan: the Default constructor yields a valid, normalized,
+// machine-stamped uniform plan.
+func TestDefaultPlan(t *testing.T) {
+	for _, m := range Builtin() {
+		p := Default(m)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: default plan invalid: %v", m.Name, err)
+		}
+		if p.Machine != m.Name {
+			t.Errorf("%s: plan records machine %q", m.Name, p.Machine)
+		}
+		d := p.For("1:1") // unnamed site falls back to the default
+		if d.K != m.DefaultK() || d.Wait != WaitDeferred || d.SendOrder != SendStaggered || d.Interchange != InterchangeAuto {
+			t.Errorf("%s: default decision %+v", m.Name, d)
+		}
+		if d.InterchangeMinBlockBytes != DefaultInterchangeMinBlockBytes {
+			t.Errorf("%s: auto gate threshold %d", m.Name, d.InterchangeMinBlockBytes)
+		}
+	}
+}
+
+// TestValidationRejections: every way a plan can be malformed is rejected
+// with a diagnostic naming the problem.
+func TestValidationRejections(t *testing.T) {
+	valid := func() *Plan {
+		p := Default(MPICHGM2005())
+		p.Set("3:7", Decision{K: 2}.Normalize())
+		return p
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Plan)
+		want   string
+	}{
+		{"bad schema", func(p *Plan) { p.Schema = "repro/plan/v0" }, "schema"},
+		{"negative np", func(p *Plan) { p.NP = -2 }, "np"},
+		{"zero default K", func(p *Plan) { p.Default.K = 0 }, "K must be"},
+		{"negative site K", func(p *Plan) { p.Sites[0].Decision.K = -4 }, "K must be"},
+		{"bad wait", func(p *Plan) { p.Default.Wait = "sometimes" }, "wait"},
+		{"bad send order", func(p *Plan) { p.Sites[0].Decision.SendOrder = "random" }, "send order"},
+		{"bad interchange", func(p *Plan) { p.Default.Interchange = "maybe" }, "interchange"},
+		{"negative gate", func(p *Plan) { p.Default.InterchangeMinBlockBytes = -1 }, "interchange_min_block_bytes"},
+		{"malformed site key", func(p *Plan) { p.Sites[0].Site = "l12c3" }, "line:col"},
+		{"zero site key", func(p *Plan) { p.Sites[0].Site = "0:4" }, "line:col"},
+		{"duplicate site", func(p *Plan) { p.Sites = append(p.Sites, p.Sites[0]) }, "duplicate"},
+	}
+	for _, c := range cases {
+		p := valid()
+		c.break_(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if _, err := p.Encode(); err == nil {
+			t.Errorf("%s: Encode accepted an invalid plan", c.name)
+		}
+	}
+	if _, err := Decode([]byte(`{"schema":"repro/plan/v1","default":{"k":0}}`)); err == nil {
+		t.Error("Decode accepted K=0")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+}
+
+// TestKeyDistinguishesKnobs: the memo key must separate any two plans that
+// differ in a knob, and normalize spelled-out defaults onto the same key.
+func TestKeyDistinguishesKnobs(t *testing.T) {
+	base := Uniform(Decision{K: 8})
+	seen := map[string]string{base.Key(): "base"}
+	variants := map[string]*Plan{
+		"k":     Uniform(Decision{K: 4}),
+		"wait":  Uniform(Decision{K: 8, Wait: WaitPerTile}),
+		"order": Uniform(Decision{K: 8, SendOrder: SendSequential}),
+		"inter": Uniform(Decision{K: 8, Interchange: InterchangeOff}),
+		"gate":  Uniform(Decision{K: 8, InterchangeMinBlockBytes: 4096}),
+		"np":    {Schema: Schema, NP: 4, Default: Decision{K: 8}},
+		"site":  {Schema: Schema, Default: Decision{K: 8}, Sites: []SitePlan{{Site: "2:3", Decision: Decision{K: 4}}}},
+	}
+	for name, p := range variants {
+		k := p.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q on key %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+	// Explicit defaults normalize onto the same key as zero values.
+	explicit := Uniform(Decision{K: 8, Wait: WaitDeferred, SendOrder: SendStaggered,
+		Interchange: InterchangeAuto, InterchangeMinBlockBytes: DefaultInterchangeMinBlockBytes})
+	if explicit.Key() != base.Key() {
+		t.Errorf("explicit defaults key %q differs from zero-value key %q", explicit.Key(), base.Key())
+	}
+}
+
+// TestMachineRegistry: the built-ins resolve by name and by historical
+// alias, and include an offload-capable modern model next to the paper
+// pair.
+func TestMachineRegistry(t *testing.T) {
+	for _, name := range []string{"mpich-tcp-2005", "mpich-gm-2005", "hpc-rdma-2019", "mpich-gm", "mpich-tcp"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if m.Profile.Name != m.Name {
+			t.Errorf("%s: profile name %q diverges from machine name", name, m.Profile.Name)
+		}
+		if m.Costs.Op <= 0 || m.Profile.GapNsPerByte <= 0 {
+			t.Errorf("%s: uncalibrated machine: %+v", name, m)
+		}
+	}
+	if _, err := ByName("cray-t3e"); err == nil {
+		t.Error("unknown machine resolved")
+	}
+	gm, _ := ByName("mpich-gm")
+	if !gm.Profile.Offload {
+		t.Error("mpich-gm-2005 must keep the offload capability")
+	}
+	modern, _ := ByName("hpc-rdma-2019")
+	if !modern.Profile.Offload {
+		t.Error("the modern RDMA machine must be offload-capable")
+	}
+	if modern.Profile.GapNsPerByte >= gm.Profile.GapNsPerByte {
+		t.Error("the modern machine should have higher bandwidth than 2005 Myrinet")
+	}
+	if pair := PaperPair(); len(pair) != 2 || pair[0].Profile.Offload || !pair[1].Profile.Offload {
+		t.Errorf("PaperPair should be (host-progress, offload): %+v", pair)
+	}
+}

@@ -30,6 +30,12 @@ type Options struct {
 	// The indirect pattern always waits at tile start regardless (its
 	// temporary buffers are reused every K iterations).
 	PerTileWait bool
+	// NoStagger forces the paper's literal owner-ordered subset-send
+	// traversal (partitions 0..np-1) even when tile order independence is
+	// provable and the staggered ring schedule would be legal. A plan's
+	// send_order "sequential" knob maps here; the default (false) staggers
+	// whenever the reorder proof succeeds.
+	NoStagger bool
 }
 
 // Error is a transformation failure tied to a source position.

@@ -1,15 +1,19 @@
-// Package tune picks the pre-push tile size K automatically, per kernel and
-// per network profile. The paper (§2) leaves K to the user; related work
-// (Cui & Pericàs; Kumar et al.) shows overlap granularity is platform-
-// sensitive and that an analytic cost model can seed a measured search
-// cheaply. The tuner does exactly that: candidate tile sizes are seeded
-// from the LogGP-flavoured profile constants and the interpreter cost model
-// (eager/rendezvous crossover, per-message setup amortization, and the
-// sqrt-form pipeline optimum), then refined by a small hill-climbing search
-// of simulated runs on the virtual cluster. Every measured candidate passes
-// through the same parse → transform → run pipeline as the harness and is
-// checked against the bit-identical oracle; a candidate that corrupts
-// results is never chosen.
+// Package tune searches the overlap-plan space automatically, per kernel
+// and per machine model. The paper (§2) leaves the tile size K to the user
+// and fixes the wait placement (§3.6) and interchange gate (§3.5) as
+// heuristics; related work (Cui & Pericàs; Kumar et al.) shows overlap
+// decisions are platform-sensitive and that an analytic cost model can seed
+// a measured search cheaply. The tuner does exactly that over plan.Decision
+// space: candidate tile sizes are seeded from the machine's LogGP-flavoured
+// profile constants and CPU cost model (eager/rendezvous crossover,
+// per-message setup amortization, and the sqrt-form pipeline optimum), then
+// refined by a deterministic hill-climb of simulated runs; at the best K,
+// the non-K knobs — wait schedule, send order, interchange gate — are
+// flipped greedily, adopting only strictly better settings. Every measured
+// candidate passes through the same Analyze → Apply → run pipeline as the
+// harness and is checked against the bit-identical oracle; a candidate that
+// corrupts results is never chosen, and the fixed-K default decision is
+// always measured first so the tuned choice can never lose to the baseline.
 package tune
 
 import (
@@ -19,59 +23,70 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interp"
-	"repro/internal/netsim"
+	"repro/internal/plan"
 )
 
-// DefaultMaxMeasured bounds measured candidates per (kernel, profile).
-const DefaultMaxMeasured = 10
+// DefaultMaxMeasured bounds measured candidates per (kernel, machine). The
+// knob stage needs headroom beyond the K climb, so the budget sits above
+// the K-only tuner's historical 10.
+const DefaultMaxMeasured = 14
 
 // Input is the kernel to tune.
 type Input struct {
-	Source   string // untransformed Fortran source
-	NP       int    // rank count
-	FixedK   int64  // the fixed tile size used as the search baseline
-	Profiles []netsim.Profile
+	Source string // untransformed Fortran source
+	// Program optionally reuses an already-analyzed core.Program for the
+	// same source (sharing its analysis and plan-key memo, so variants the
+	// caller already generated are not re-transformed); nil re-analyzes
+	// Source.
+	Program  *core.Program
+	NP       int   // rank count
+	FixedK   int64 // the fixed tile size used as the search baseline
+	Machines []plan.Machine
 }
 
 // Options configures the search.
 type Options struct {
-	// MaxMeasured caps simulated pre-push runs per profile (seeds plus
-	// refinement steps); <= 0 selects DefaultMaxMeasured.
+	// MaxMeasured caps simulated pre-push runs per machine (seeds plus
+	// refinement and knob flips); <= 0 selects DefaultMaxMeasured.
 	MaxMeasured int
 	// Arrays names the observable arrays the oracle compares (besides all
 	// printed output); empty means {"ar"}.
 	Arrays []string
-	// Costs optionally overrides the interpreter cost model (nil = default).
-	Costs *interp.CostModel
+	// KOnly restricts the search to the tile size, skipping the non-K knob
+	// stage — the historical behavior, kept for ablation comparisons.
+	KOnly bool
 }
 
-// Candidate is one evaluated tile size under one profile.
+// Candidate is one evaluated plan decision under one machine.
 type Candidate struct {
-	K         int64   `json:"k"`
-	PrepushNs int64   `json:"prepush_ns"`
-	Speedup   float64 `json:"speedup"`
-	Identical bool    `json:"identical"`
-	Seeded    bool    `json:"seeded"` // proposed by the analytic model
+	Decision  plan.Decision `json:"decision"`
+	PrepushNs int64         `json:"prepush_ns"`
+	Speedup   float64       `json:"speedup"`
+	Identical bool          `json:"identical"`
+	Seeded    bool          `json:"seeded"` // proposed by the analytic model
 }
 
-// Choice is the tuning outcome for one (kernel, profile) pair.
+// Choice is the tuning outcome for one (kernel, machine) pair.
 type Choice struct {
-	Profile      string      `json:"profile"`
-	Offload      bool        `json:"offload"`
-	ChosenK      int64       `json:"chosen_k"`
-	Speedup      float64     `json:"tuned_speedup"`
-	PrepushNs    int64       `json:"tuned_prepush_ns"`
-	OriginalNs   int64       `json:"original_ns"`
-	FixedK       int64       `json:"fixed_k"`
-	FixedSpeedup float64     `json:"fixed_speedup"`
-	Evaluations  int         `json:"evaluations"`   // measured pre-push runs
-	SearchSimNs  int64       `json:"search_sim_ns"` // simulated time spent searching
-	Candidates   []Candidate `json:"candidates"`
+	Machine      string        `json:"machine"`
+	Offload      bool          `json:"offload"`
+	Chosen       plan.Decision `json:"chosen"`
+	Speedup      float64       `json:"tuned_speedup"`
+	PrepushNs    int64         `json:"tuned_prepush_ns"`
+	OriginalNs   int64         `json:"original_ns"`
+	FixedK       int64         `json:"fixed_k"`
+	FixedSpeedup float64       `json:"fixed_speedup"`
+	Evaluations  int           `json:"evaluations"`   // measured pre-push runs
+	SearchSimNs  int64         `json:"search_sim_ns"` // simulated time spent searching
+	Candidates   []Candidate   `json:"candidates"`
 }
 
-// Tune searches tile sizes for the kernel under every profile. The search
+// Tune searches plan space for the kernel under every machine. The search
 // is fully deterministic: the same input and options always produce the
-// same choices (candidate order is sorted, ties prefer the smaller K).
+// same choices (candidates are visited in sorted order, ties prefer the
+// default knobs and then the smaller K). Transformed variants are shared
+// across machines through core.Apply's plan-key memo, so a candidate plan
+// is generated at most once per kernel.
 func Tune(in Input, opts Options) ([]Choice, error) {
 	arrays := opts.Arrays
 	if len(arrays) == 0 {
@@ -82,19 +97,20 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 		maxM = DefaultMaxMeasured
 	}
 
-	rt, err := core.NewRetiler(in.Source, core.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("tune: parse: %w", err)
+	prog := in.Program
+	if prog == nil {
+		var err error
+		prog, err = core.Analyze(in.Source, core.AnalyzeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("tune: parse: %w", err)
+		}
 	}
-	// Baseline transform at the fixed K establishes the kernel's geometry
-	// (partition size, message volume per iteration) for the analytic seeds.
-	_, rep, err := rt.Retile(in.FixedK)
-	if err != nil {
-		return nil, fmt.Errorf("tune: transform at fixed K=%d: %w", in.FixedK, err)
+	if in.Source == "" {
+		in.Source = prog.Source()
 	}
-	geo := geometry(rep)
+	geo := geometry(prog)
 	if geo == nil {
-		return nil, fmt.Errorf("tune: transform did not fire at fixed K=%d: %s", in.FixedK, rep.FirstRejection())
+		return nil, fmt.Errorf("tune: transform does not fire on this kernel: %s", firstReason(prog))
 	}
 	// Candidate ladder: divisors of the partition size (the legality
 	// constraint of the subset-send and indirect schedules) unioned with
@@ -104,8 +120,8 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	ladder := mergeLadders(divisors(geo.psz), divisors(geo.trip))
 
 	var choices []Choice
-	for _, prof := range in.Profiles {
-		ch, err := tuneProfile(rt, in, prof, geo, ladder, arrays, maxM, opts.Costs)
+	for _, m := range in.Machines {
+		ch, err := tuneMachine(prog, in, m, geo, ladder, arrays, maxM, opts.KOnly)
 		if err != nil {
 			return nil, err
 		}
@@ -121,126 +137,108 @@ type geom struct {
 	perIterBytes int64 // bytes of one point-to-point message per tiled iteration
 }
 
-func geometry(rep *core.Report) *geom {
-	for _, s := range rep.Sites {
-		if !s.Transformed || s.Result == nil {
+// geometry harvests the first transformable site's facts from the analysis.
+func geometry(prog *core.Program) *geom {
+	for i := range prog.Sites {
+		s := &prog.Sites[i]
+		if !s.Transformable {
 			continue
 		}
-		res := s.Result
-		g := &geom{psz: res.PartitionSize}
-		if res.TileCount > 0 {
-			g.trip = res.TileCount*res.K + res.Leftover
-		}
-		if res.TileMsgElems > 0 && res.K > 0 {
-			g.perIterBytes = res.TileMsgElems * 4 / res.K
-		}
-		return g
+		return &geom{psz: s.PartitionSize, trip: s.TripCount, perIterBytes: s.PerIterBytes}
 	}
 	return nil
 }
 
-// tuneProfile runs the seeded, measured search for one profile.
-func tuneProfile(rt *core.Retiler, in Input, prof netsim.Profile, geo *geom,
-	ladder []int64, arrays []string, maxM int, costs *interp.CostModel) (Choice, error) {
-
-	orig, err := simulate(in.Source, in.NP, prof, costs)
-	if err != nil {
-		return Choice{}, fmt.Errorf("tune: original run under %s: %w", prof.Name, err)
+func firstReason(prog *core.Program) string {
+	for _, s := range prog.Sites {
+		if !s.Transformable {
+			return s.Reason
+		}
 	}
-	origNs := int64(orig.Elapsed())
+	return "no MPI_ALLTOALL site found"
+}
+
+// search carries the per-machine evaluation state.
+type search struct {
+	prog    *core.Program
+	in      Input
+	machine plan.Machine
+	arrays  []string
+	maxM    int
+
+	orig   *interp.Result
+	origNs int64
+
+	measured map[string]*Candidate // by decision key; nil = rejected/failed
+	bySrc    map[string]*Candidate // by generated source: knob no-ops alias
+	order    []plan.Decision       // unique measured decisions, visit order
+	runs     int
+}
+
+// tuneMachine runs the seeded, measured search for one machine.
+func tuneMachine(prog *core.Program, in Input, m plan.Machine, geo *geom,
+	ladder []int64, arrays []string, maxM int, kOnly bool) (Choice, error) {
+
+	orig, err := simulate(in.Source, in.NP, m)
+	if err != nil {
+		return Choice{}, fmt.Errorf("tune: original run under %s: %w", m.Name, err)
+	}
+	s := &search{
+		prog: prog, in: in, machine: m, arrays: arrays, maxM: maxM,
+		orig: orig, origNs: int64(orig.Elapsed()),
+		measured: map[string]*Candidate{}, bySrc: map[string]*Candidate{},
+	}
 
 	ch := Choice{
-		Profile: prof.Name, Offload: prof.Offload,
-		OriginalNs: origNs, FixedK: in.FixedK,
-	}
-	measured := map[int64]*Candidate{}
-	runs := 0
-
-	// evaluate runs the pre-push variant at k and applies the oracle. A k
-	// the transformation rejects yields no candidate and costs nothing
-	// against the measurement budget.
-	evaluate := func(k int64, seeded bool) *Candidate {
-		if c, ok := measured[k]; ok {
-			return c
-		}
-		if runs >= maxM {
-			return nil
-		}
-		src, rep, err := rt.Retile(k)
-		if err != nil || rep.TransformedCount() == 0 {
-			measured[k] = nil
-			return nil
-		}
-		runs++
-		res, err := simulate(src, in.NP, prof, costs)
-		if err != nil {
-			measured[k] = nil
-			return nil
-		}
-		c := &Candidate{K: k, PrepushNs: int64(res.Elapsed()), Seeded: seeded}
-		if c.PrepushNs > 0 {
-			c.Speedup = float64(origNs) / float64(c.PrepushNs)
-		}
-		same, _ := interp.SameObservable(orig, res, arrays...)
-		c.Identical = same
-		measured[k] = c
-		return c
+		Machine: m.Name, Offload: m.Profile.Offload,
+		OriginalNs: s.origNs, FixedK: in.FixedK,
 	}
 
-	// The fixed K is always measured first so the tuned choice can never
-	// lose to the baseline, then the analytic seeds.
-	evaluate(in.FixedK, true)
-	for _, k := range seedKs(prof, geo, in.FixedK, costs, ladder) {
-		evaluate(k, true)
+	// The fixed-K default decision is always measured first so the tuned
+	// choice can never lose to the baseline, then the analytic seeds.
+	fixed := plan.Decision{K: in.FixedK}.Normalize()
+	if s.evaluate(fixed, true) == nil {
+		// Fatal only when there is nothing to tune; a simulation failure at
+		// the fixed K still lets the seeds find a plan (Apply is memoized,
+		// so the re-check is free).
+		if _, rep, err := core.Apply(s.prog, plan.Uniform(fixed)); err != nil || rep.TransformedCount() == 0 {
+			return Choice{}, fmt.Errorf("tune: transform did not fire at fixed K=%d under %s", in.FixedK, m.Name)
+		}
 	}
-	// Refinement: hill-climb the divisor ladder from the best seed until no
-	// neighbor improves or the measurement budget runs out.
-	for {
-		best := bestCandidate(measured)
-		if best == nil {
-			break
-		}
-		// Neighbor rungs: for an on-ladder best, the rungs either side; for
-		// an off-ladder best (a fixed K dividing neither the partition size
-		// nor the trip count), the rungs bracketing it.
-		i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= best.K })
-		neighbors := []int{i - 1, i}
-		if i < len(ladder) && ladder[i] == best.K {
-			neighbors = []int{i - 1, i + 1}
-		}
-		improved := false
-		for _, j := range neighbors {
-			if j < 0 || j >= len(ladder) {
-				continue
-			}
-			if _, seen := measured[ladder[j]]; seen {
-				continue
-			}
-			if c := evaluate(ladder[j], false); c != nil && c.Identical && c.Speedup > best.Speedup {
-				improved = true
-			}
-		}
-		if !improved || runs >= maxM {
-			break
-		}
+	for _, k := range seedKs(m, geo, in.FixedK, ladder) {
+		s.evaluate(plan.Decision{K: k}.Normalize(), true)
+	}
+	// Refinement: hill-climb the divisor ladder from the best decision so
+	// far until no neighbor improves or the measurement budget runs out.
+	s.climbK(ladder)
+	if !kOnly {
+		// Knob stage: each non-K knob flip gets its own K-climb, because a
+		// flip can be a no-op at the incumbent K (the interchange gate, for
+		// one, only disagrees with "auto" on part of the ladder) — such
+		// no-op rungs alias earlier candidates and cost nothing, so the
+		// climb walks through them for free until the flip starts mattering.
+		// A flipped plan displaces the incumbent only when strictly better;
+		// afterwards one more default climb refines K under the winner.
+		s.climbKnobs(ladder)
+		s.climbK(ladder)
 	}
 
-	winner := bestCandidate(measured)
+	winner := s.best()
 	if winner == nil {
-		return Choice{}, fmt.Errorf("tune: no valid tile size found under %s (fixed K=%d)", prof.Name, in.FixedK)
+		return Choice{}, fmt.Errorf("tune: no valid plan found under %s (fixed K=%d)", m.Name, in.FixedK)
 	}
-	ch.ChosenK = winner.K
+	ch.Chosen = winner.Decision
 	ch.Speedup = winner.Speedup
 	ch.PrepushNs = winner.PrepushNs
-	if fixed := measured[in.FixedK]; fixed != nil {
-		ch.FixedSpeedup = fixed.Speedup
+	if f := s.measured[planKey(fixed)]; f != nil {
+		ch.FixedSpeedup = f.Speedup
 	}
 	// Evaluations reports the budget actually consumed (a run whose
 	// simulation failed still spent a slot); SearchSimNs sums the
 	// successful runs' simulated makespans.
-	ch.Evaluations = runs
-	for _, k := range sortedKeys(measured) {
-		c := measured[k]
+	ch.Evaluations = s.runs
+	for _, d := range s.order {
+		c := s.measured[planKey(d)]
 		if c == nil {
 			continue
 		}
@@ -250,21 +248,210 @@ func tuneProfile(rt *core.Retiler, in Input, prof netsim.Profile, geo *geom,
 	return ch, nil
 }
 
-// simulate loads and runs one variant on the virtual cluster.
-func simulate(src string, np int, prof netsim.Profile, costs *interp.CostModel) (*interp.Result, error) {
+// planKey canonicalizes a decision for memo keys.
+func planKey(d plan.Decision) string { return plan.Uniform(d).Key() }
+
+// evaluate runs the pre-push variant under the decision and applies the
+// oracle. A decision the transformation rejects yields no candidate and
+// costs nothing against the measurement budget; a decision whose generated
+// source is identical to an already-measured one aliases that measurement
+// for free (knob flips that change nothing — e.g. forcing interchange off
+// where it never fired — collapse onto the earlier candidate).
+func (s *search) evaluate(d plan.Decision, seeded bool) *Candidate {
+	d = d.Normalize()
+	key := planKey(d)
+	if c, ok := s.measured[key]; ok {
+		return c
+	}
+	src, rep, err := core.Apply(s.prog, plan.Uniform(d))
+	if err != nil || rep.TransformedCount() == 0 {
+		s.measured[key] = nil
+		return nil
+	}
+	if c, ok := s.bySrc[src]; ok {
+		s.measured[key] = c
+		return c
+	}
+	if s.runs >= s.maxM {
+		return nil
+	}
+	s.runs++
+	res, err := simulate(src, s.in.NP, s.machine)
+	if err != nil {
+		s.measured[key] = nil
+		return nil
+	}
+	c := &Candidate{Decision: d, PrepushNs: int64(res.Elapsed()), Seeded: seeded}
+	if c.PrepushNs > 0 {
+		c.Speedup = float64(s.origNs) / float64(c.PrepushNs)
+	}
+	same, _ := interp.SameObservable(s.orig, res, s.arrays...)
+	c.Identical = same
+	s.measured[key] = c
+	s.bySrc[src] = c
+	s.order = append(s.order, d)
+	return c
+}
+
+// climbK hill-climbs the divisor ladder around the best decision, varying
+// only K (the other knobs ride along from the incumbent).
+func (s *search) climbK(ladder []int64) {
+	for {
+		best := s.best()
+		if best == nil {
+			break
+		}
+		// Neighbor rungs: for an on-ladder best, the rungs either side; for
+		// an off-ladder best (a fixed K dividing neither the partition size
+		// nor the trip count), the rungs bracketing it.
+		i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= best.Decision.K })
+		neighbors := []int{i - 1, i}
+		if i < len(ladder) && ladder[i] == best.Decision.K {
+			neighbors = []int{i - 1, i + 1}
+		}
+		improved := false
+		for _, j := range neighbors {
+			if j < 0 || j >= len(ladder) {
+				continue
+			}
+			d := best.Decision
+			d.K = ladder[j]
+			if _, seen := s.measured[planKey(d)]; seen {
+				continue
+			}
+			if c := s.evaluate(d, false); c != nil && c.Identical && c.Speedup > best.Speedup {
+				improved = true
+			}
+		}
+		if !improved || s.runs >= s.maxM {
+			break
+		}
+	}
+}
+
+// climbKnobs explores each non-K knob flip of the incumbent in a fixed
+// order. Every flip is evaluated at the incumbent K and then hill-climbed
+// along the ladder within its own variant: a flip whose code is identical
+// at the incumbent K (an aliased no-op) is walked outward for free until
+// the rungs where it changes the schedule. The interchange flips lead —
+// the fixed granularity gate is the most platform-sensitive heuristic.
+func (s *search) climbKnobs(ladder []int64) {
+	flips := []func(*plan.Decision){
+		func(d *plan.Decision) { d.Interchange = plan.InterchangeOff },
+		func(d *plan.Decision) { d.Interchange = plan.InterchangeOn },
+		func(d *plan.Decision) { d.Wait = flipWait(d.Wait) },
+		func(d *plan.Decision) { d.SendOrder = flipOrder(d.SendOrder) },
+	}
+	for _, flip := range flips {
+		best := s.best()
+		if best == nil || s.runs >= s.maxM {
+			break
+		}
+		d := best.Decision
+		flip(&d)
+		d = d.Normalize()
+		if planKey(d) == planKey(best.Decision) {
+			continue
+		}
+		s.climbVariant(d, ladder)
+	}
+}
+
+// climbVariant walks K outward along the ladder in both directions from
+// the variant's starting rung, with the non-K knobs held fixed. A rung
+// where the flip is a codegen no-op aliases an earlier candidate (equal
+// speedup, zero cost against the budget) and the walk continues through
+// it — that is how the climb crosses the region where, say, the
+// interchange gate's own verdict coincides with the forced knob — as does
+// a rung the transform rejects (also free). A direction stops at the
+// first genuinely measured rung that fails to improve the variant's local
+// best, or when the budget runs out. The global best picks up any
+// strictly better candidate through the shared measurement pool.
+func (s *search) climbVariant(d plan.Decision, ladder []int64) {
+	cur := s.evaluate(d, false)
+	if cur == nil || !cur.Identical {
+		return
+	}
+	curSp := cur.Speedup
+	i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= d.K })
+	starts := [2]int{i - 1, i + 1}
+	if i >= len(ladder) || ladder[i] != d.K {
+		starts = [2]int{i - 1, i} // off-ladder start: bracket it
+	}
+	for dir, j := range starts {
+		step := 1
+		if dir == 0 {
+			step = -1
+		}
+		for ; j >= 0 && j < len(ladder); j += step {
+			if s.runs >= s.maxM {
+				return
+			}
+			nd := d
+			nd.K = ladder[j]
+			c := s.evaluate(nd, false)
+			if c == nil {
+				continue // rejected or failed rung: free, keep walking
+			}
+			if !c.Identical {
+				break
+			}
+			aliased := planKey(c.Decision) != planKey(nd)
+			if c.Speedup > curSp {
+				curSp = c.Speedup
+			} else if !aliased {
+				break
+			}
+		}
+	}
+}
+
+func flipWait(w plan.WaitSchedule) plan.WaitSchedule {
+	if w == plan.WaitPerTile {
+		return plan.WaitDeferred
+	}
+	return plan.WaitPerTile
+}
+
+func flipOrder(o plan.SendOrder) plan.SendOrder {
+	if o == plan.SendSequential {
+		return plan.SendStaggered
+	}
+	return plan.SendSequential
+}
+
+// best returns the oracle-identical candidate with the highest speedup.
+// Ties prefer the candidate measured earliest — the fixed-K default-knob
+// decision first, then seeds, then refinements — so a knob flip or retile
+// displaces the incumbent only when strictly better.
+func (s *search) best() *Candidate {
+	var best *Candidate
+	for _, d := range s.order {
+		c := s.measured[planKey(d)]
+		if c == nil || !c.Identical {
+			continue
+		}
+		if best == nil || c.Speedup > best.Speedup {
+			best = c
+		}
+	}
+	return best
+}
+
+// simulate loads and runs one variant on the virtual cluster under the
+// machine's CPU cost model and network profile.
+func simulate(src string, np int, m plan.Machine) (*interp.Result, error) {
 	prog, err := interp.Load(src)
 	if err != nil {
 		return nil, err
 	}
-	if costs != nil {
-		prog.Costs = *costs
-	}
-	return prog.Run(np, prof)
+	prog.Costs = m.Costs
+	return prog.Run(np, m.Profile)
 }
 
-// seedKs proposes candidate tile sizes from the analytic cost model, snapped
-// onto the divisor ladder of the partition size (every rung is legal for
-// every pattern). Seeds, in model terms:
+// seedKs proposes candidate tile sizes from the machine's analytic cost
+// model, snapped onto the divisor ladder (every rung is legal for every
+// pattern). Seeds, in model terms:
 //
 //   - the eager/rendezvous crossover: the largest K whose per-tile message
 //     stays under the profile's eager threshold, and the next rung above it
@@ -275,9 +462,12 @@ func simulate(src string, np int, prof netsim.Profile, costs *interp.CostModel) 
 //   - the pipeline optimum K* = sqrt(trip · setup / (G · bytesPerIter)),
 //     balancing the per-tile setup against the exposed drain of the last
 //     tile (the classic two-term pipelining tradeoff);
+//   - the compute-balance rung: the tile whose computation hides one
+//     message's setup+latency (finer tiles stall the pipeline);
 //   - the fixed K (so the tuned result can never lose to the baseline) and
 //     the full partition (one tile per owner, the coarsest useful point).
-func seedKs(prof netsim.Profile, geo *geom, fixedK int64, costs *interp.CostModel, ladder []int64) []int64 {
+func seedKs(m plan.Machine, geo *geom, fixedK int64, ladder []int64) []int64 {
+	prof, costs := m.Profile, m.Costs
 	set := map[int64]bool{}
 	snap := func(k int64) {
 		if k < 1 {
@@ -301,13 +491,9 @@ func seedKs(prof netsim.Profile, geo *geom, fixedK int64, costs *interp.CostMode
 				snap(int64(math.Sqrt(float64(geo.trip) * setup / (prof.GapNsPerByte * float64(b)))))
 			}
 		}
-		if costs != nil {
-			// Compute-balance rung: the tile whose computation hides one
-			// message's setup+latency (finer tiles stall the pipeline).
-			perIterCompute := float64(costs.Store+costs.LoopIter+2*costs.Op) * float64(b) / 4
-			if perIterCompute > 0 {
-				snap(int64(setup / perIterCompute))
-			}
+		perIterCompute := float64(costs.Store+costs.LoopIter+2*costs.Op) * float64(b) / 4
+		if perIterCompute > 0 {
+			snap(int64(setup / perIterCompute))
 		}
 	}
 	var out []int64
@@ -367,29 +553,4 @@ func snapToLadder(ladder []int64, k int64) (int64, int64) {
 		lo--
 	}
 	return ladder[lo], ladder[hi]
-}
-
-// bestCandidate returns the identical candidate with the highest speedup,
-// ties broken toward the smaller K; nil when nothing valid was measured.
-func bestCandidate(measured map[int64]*Candidate) *Candidate {
-	var best *Candidate
-	for _, k := range sortedKeys(measured) {
-		c := measured[k]
-		if c == nil || !c.Identical {
-			continue
-		}
-		if best == nil || c.Speedup > best.Speedup {
-			best = c
-		}
-	}
-	return best
-}
-
-func sortedKeys(m map[int64]*Candidate) []int64 {
-	out := make([]int64, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

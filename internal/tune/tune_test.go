@@ -4,12 +4,21 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/netsim"
+	"repro/internal/interp"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
-func profiles() []netsim.Profile {
-	return []netsim.Profile{netsim.MPICHTCP(), netsim.MPICHGM()}
+// machines returns the paper pair, with the scenario's cost override
+// applied the way the harness does.
+func machines(sc workload.Scenario) []plan.Machine {
+	ms := plan.PaperPair()
+	if sc.Costs != nil {
+		for i := range ms {
+			ms[i].Costs = *sc.Costs
+		}
+	}
+	return ms
 }
 
 // TestDeterministicChoices: the search is a pure function of its input —
@@ -17,13 +26,12 @@ func profiles() []netsim.Profile {
 // harness's determinism-across-parallelism test builds on).
 func TestDeterministicChoices(t *testing.T) {
 	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 2})[1]
-	in := Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()}
-	opts := Options{Costs: sc.Costs}
-	a, err := Tune(in, opts)
+	in := Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)}
+	a, err := Tune(in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Tune(in, opts)
+	b, err := Tune(in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,21 +40,21 @@ func TestDeterministicChoices(t *testing.T) {
 	}
 }
 
-// TestSameSeedSameChosenK: regenerating the corpus from the same seed and
-// tuning again must land on the same chosen K per profile.
-func TestSameSeedSameChosenK(t *testing.T) {
-	pick := func() map[string]int64 {
+// TestSameSeedSameChosenPlan: regenerating the corpus from the same seed
+// and tuning again must land on the same chosen plan per machine.
+func TestSameSeedSameChosenPlan(t *testing.T) {
+	pick := func() map[string]plan.Decision {
 		sc := workload.GenerateScenarios(workload.GenOptions{Seed: 7, Limit: 4})[3]
 		choices, err := Tune(
-			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()},
-			Options{Costs: sc.Costs},
+			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)},
+			Options{},
 		)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out := map[string]int64{}
+		out := map[string]plan.Decision{}
 		for _, c := range choices {
-			out[c.Profile] = c.ChosenK
+			out[c.Machine] = c.Chosen
 		}
 		return out
 	}
@@ -55,14 +63,14 @@ func TestSameSeedSameChosenK(t *testing.T) {
 	}
 }
 
-// TestTunedNeverLosesToFixed: the fixed K is always in the candidate set,
-// so the tuned speedup is bounded below by the fixed-K speedup, and every
-// choice is backed by an oracle-identical run.
+// TestTunedNeverLosesToFixed: the fixed-K default decision is always in
+// the candidate set, so the tuned speedup is bounded below by the fixed-K
+// speedup, and every choice is backed by an oracle-identical run.
 func TestTunedNeverLosesToFixed(t *testing.T) {
 	for _, sc := range workload.GenerateScenarios(workload.GenOptions{Limit: 5}) {
 		choices, err := Tune(
-			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()},
-			Options{Costs: sc.Costs},
+			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)},
+			Options{},
 		)
 		if err != nil {
 			t.Fatalf("%s: %v", sc.Name, err)
@@ -70,25 +78,53 @@ func TestTunedNeverLosesToFixed(t *testing.T) {
 		for _, c := range choices {
 			if c.Speedup < c.FixedSpeedup {
 				t.Errorf("%s/%s: tuned %.3f worse than fixed %.3f",
-					sc.Name, c.Profile, c.Speedup, c.FixedSpeedup)
+					sc.Name, c.Machine, c.Speedup, c.FixedSpeedup)
 			}
 			if c.Evaluations < 1 {
-				t.Errorf("%s/%s: no measured candidates", sc.Name, c.Profile)
+				t.Errorf("%s/%s: no measured candidates", sc.Name, c.Machine)
 			}
 			if c.SearchSimNs <= 0 {
-				t.Errorf("%s/%s: no recorded search cost", sc.Name, c.Profile)
+				t.Errorf("%s/%s: no recorded search cost", sc.Name, c.Machine)
 			}
 			found := false
 			for _, cand := range c.Candidates {
-				if cand.K == c.ChosenK {
+				if reflect.DeepEqual(cand.Decision, c.Chosen) {
 					found = true
 					if !cand.Identical {
-						t.Errorf("%s/%s: chosen K=%d failed the oracle", sc.Name, c.Profile, cand.K)
+						t.Errorf("%s/%s: chosen plan %+v failed the oracle", sc.Name, c.Machine, cand.Decision)
 					}
 				}
 			}
 			if !found {
-				t.Errorf("%s/%s: chosen K=%d not among candidates", sc.Name, c.Profile, c.ChosenK)
+				t.Errorf("%s/%s: chosen plan %+v not among candidates", sc.Name, c.Machine, c.Chosen)
+			}
+		}
+	}
+}
+
+// TestMultiKnobNeverLosesToKOnly: the K stage of the multi-knob search is
+// identical to the K-only search and the knob stage only ever adopts
+// strictly better plans, so pointwise the multi-knob tuned speedup is
+// bounded below by the K-only tuned speedup.
+func TestMultiKnobNeverLosesToKOnly(t *testing.T) {
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{Limit: 6}) {
+		in := Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)}
+		multi, err := Tune(in, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		konly, err := Tune(in, Options{KOnly: true})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for i := range multi {
+			if multi[i].Speedup+1e-12 < konly[i].Speedup {
+				t.Errorf("%s/%s: multi-knob %.4f below K-only %.4f",
+					sc.Name, multi[i].Machine, multi[i].Speedup, konly[i].Speedup)
+			}
+			d := konly[i].Chosen
+			if d.Wait != plan.WaitDeferred || d.SendOrder != plan.SendStaggered || d.Interchange != plan.InterchangeAuto {
+				t.Errorf("%s/%s: K-only search flipped a non-K knob: %+v", sc.Name, konly[i].Machine, d)
 			}
 		}
 	}
@@ -98,8 +134,8 @@ func TestTunedNeverLosesToFixed(t *testing.T) {
 func TestMeasurementBudget(t *testing.T) {
 	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 1})[0]
 	choices, err := Tune(
-		Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Profiles: profiles()[1:]},
-		Options{Costs: sc.Costs, MaxMeasured: 2},
+		Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)[1:]},
+		Options{MaxMeasured: 2},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -110,9 +146,57 @@ func TestMeasurementBudget(t *testing.T) {
 }
 
 func TestTuneRejectsBrokenSource(t *testing.T) {
-	_, err := Tune(Input{Source: "not fortran", NP: 4, FixedK: 4, Profiles: profiles()}, Options{})
+	_, err := Tune(Input{Source: "not fortran", NP: 4, FixedK: 4, Machines: plan.PaperPair()}, Options{})
 	if err == nil {
 		t.Fatal("expected an error for unparseable source")
+	}
+}
+
+// TestSharedVariantsAcrossMachines: the same candidate plan is generated
+// once and reused for every machine (the Apply memo replaces the old
+// Retiler), so evaluations stay per-machine but codegen does not repeat.
+func TestSharedVariantsAcrossMachines(t *testing.T) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 2})[1]
+	choices, err := Tune(
+		Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)},
+		Options{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 2 {
+		t.Fatalf("choices = %d, want 2", len(choices))
+	}
+	for _, c := range choices {
+		if c.OriginalNs <= 0 {
+			t.Errorf("%s: no original measurement", c.Machine)
+		}
+	}
+	if choices[0].Machine == choices[1].Machine {
+		t.Error("machine names collide")
+	}
+}
+
+func TestSeedKsUsesMachineCosts(t *testing.T) {
+	geo := &geom{psz: 64, trip: 256, perIterBytes: 1024}
+	ladder := divisors(64)
+	slow := plan.MPICHTCP2005()
+	fast := plan.MPICHGM2005()
+	a := seedKs(slow, geo, 8, ladder)
+	b := seedKs(fast, geo, 8, ladder)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no seeds proposed")
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different machines proposed identical seeds — the model is not consulted")
+	}
+	// Sanity: a machine with a different CPU cost model shifts the
+	// compute-balance rung.
+	tweaked := fast
+	tweaked.Costs = interp.CostModel{Op: 100, Assign: 100, Store: 400, Load: 200, LoopIter: 200, CallOver: 2000}
+	c := seedKs(tweaked, geo, 8, ladder)
+	if reflect.DeepEqual(b, c) {
+		t.Error("changing the CPU cost model did not move any seed")
 	}
 }
 

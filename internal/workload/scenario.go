@@ -11,6 +11,10 @@ import (
 // kernel in the subset the Compuniformer accepts, plus the run parameters
 // the harness needs to execute original and pre-push variants identically.
 type Scenario struct {
+	// Index is the scenario's position in its full corpus — stable across
+	// shard selection, so sharded sweep artifacts merge back into corpus
+	// order deterministically.
+	Index  int
 	Name   string // unique within a corpus, e.g. "direct/nx4096/np4/K256"
 	Family string // kernel family: direct, inner3d, indirect, fft, lu, sort
 	Source string // the untransformed Fortran source
@@ -100,6 +104,7 @@ func GenerateScenarios(opts GenOptions) []Scenario {
 		luScenarios(opts.Seed),
 		sortScenarios(opts.Seed),
 		raggedScenarios(opts.Seed),
+		xchgScenarios(opts.Seed),
 	)
 	var out []Scenario
 	for i := 0; ; i++ {
@@ -116,6 +121,9 @@ func GenerateScenarios(opts GenOptions) []Scenario {
 	}
 	if opts.Limit > 0 && len(out) > opts.Limit {
 		out = out[:opts.Limit]
+	}
+	for i := range out {
+		out[i].Index = i
 	}
 	return out
 }
@@ -342,6 +350,42 @@ func raggedScenarios(seed int64) []Scenario {
 		out = append(out, Scenario{
 			Name:   fmt.Sprintf("ragged/%s/m%d/ny%d/sz%d/np%d/K%d", kind, c.m, c.ny, c.sz, c.np, c.k),
 			Family: "ragged", Source: src, NP: c.np, K: c.k, Seed: seed,
+			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
+		})
+	}
+	return out
+}
+
+// xchgScenarios sweeps the interchange-boundary family: node loop
+// outermost with a legal §3.5 interchange, sized so the fixed granularity
+// gate's verdict flips across the tile-size ladder. These are the
+// scenarios where the plan's interchange knob is a real decision — the
+// auto gate picks the balanced interchange at coarse tiles, but the
+// staggered subset-send schedule often beats it there, so the multi-knob
+// tuner can find plans a K-only search cannot express.
+func xchgScenarios(seed int64) []Scenario {
+	type cfg struct {
+		m, ny, nz, np int
+		k             int64
+		weight        int
+	}
+	cfgs := []cfg{
+		{m: 128, ny: 16, nz: 32, np: 4, k: 2, weight: 0}, // gate flips at K=4
+		{m: 128, ny: 16, nz: 32, np: 4, k: 2, weight: 2}, // heavier compute, same boundary
+		{m: 256, ny: 16, nz: 32, np: 4, k: 2, weight: 1}, // gate already on at the fixed K
+		{m: 32, ny: 16, nz: 64, np: 4, k: 8, weight: 1},  // gate flips only at the coarsest tile
+		{m: 64, ny: 8, nz: 64, np: 8, k: 4, weight: 0},   // wider machine, eager messages
+	}
+	var out []Scenario
+	for i, c := range cfgs {
+		src := XchgSource(XchgParams{
+			M: c.m, NY: c.ny, NZ: c.nz, NP: c.np, Weight: c.weight,
+			Salt: salt(seed, uint64(i)+800, 1<<16),
+		})
+		pair := int64(c.m * c.ny * c.nz / c.np * 4)
+		out = append(out, Scenario{
+			Name:   fmt.Sprintf("xchg/m%d/ny%d/nz%d/np%d/w%d/K%d", c.m, c.ny, c.nz, c.np, c.weight, c.k),
+			Family: "xchg", Source: src, NP: c.np, K: c.k, Seed: seed,
 			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
 		})
 	}

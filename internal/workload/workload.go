@@ -166,6 +166,59 @@ end program inner3dsh
 `, p.M, p.NY, p.SZ, p.NP, rhs)
 }
 
+// XchgParams sizes the interchange-boundary kernel: a 3-D array whose last
+// (partitioned) dimension is traversed by the OUTERMOST loop of a perfect
+// nest, so the node loop sits outermost and the §3.5 interchange with the
+// middle loop is legal. The plan's interchange knob is a real decision
+// here: applying the interchange yields the balanced Fig. 4 exchange with
+// M·K-element contiguous blocks, while declining it yields the staggered
+// subset-send schedule — and which one wins depends on the machine and the
+// tile size, not on the fixed granularity gate alone.
+type XchgParams struct {
+	M      int // contiguous leading dimension (the interchange block unit)
+	NY     int // middle dimension (the loop the interchange swaps outward)
+	NZ     int // last (partitioned) dimension; divisible by NP
+	NP     int
+	Weight int // extra arithmetic per element (compute intensity)
+	Salt   int64
+}
+
+// XchgSource renders the kernel.
+func XchgSource(p XchgParams) string {
+	s := absSalt(p.Salt)
+	rhs := fmt.Sprintf("me*3 + ix*%d + iy*%d + inode*11 + mod(ix*iy, 17)", 5+s%7, 7+(s/7)%11)
+	for w := 0; w < p.Weight; w++ {
+		rhs = fmt.Sprintf("(%s) + mod(ix*%d + iy, 13) - mod(iy + inode*%d, 7)", rhs, w+2, w+3)
+	}
+	return fmt.Sprintf(`
+program xchg
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: m = %d
+  integer, parameter :: ny = %d
+  integer, parameter :: nz = %d
+  integer, parameter :: np = %d
+  integer as(1:m, 1:ny, 1:nz)
+  integer ar(1:m, 1:ny, 1:nz)
+  integer ix, iy, inode, ierr, me, checksum
+
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do inode = 1, nz
+    do iy = 1, ny
+      do ix = 1, m
+        as(ix, iy, inode) = %s
+      enddo
+    enddo
+  enddo
+  call mpi_alltoall(as, m*ny*nz/np, mpi_integer, ar, m*ny*nz/np, mpi_integer, mpi_comm_world, ierr)
+  checksum = ar(1, 1, 1) + ar(m, ny, nz) + ar(m/2, ny/2, nz/2)
+  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program xchg
+`, p.M, p.NY, p.NZ, p.NP, rhs)
+}
+
 // IndirectParams sizes the Fig. 3(a)-shaped kernel (the paper's §4 test
 // program pattern: indirect compute-copy through a temporary).
 type IndirectParams struct {
