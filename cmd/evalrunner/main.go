@@ -17,6 +17,8 @@
 //	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
 //	           [-machines a,b] [-parallel N] [-min 20] [-q]
 //	           [-tune] [-tunemax N] [-tune-konly]
+//	           [-check-baseline BENCH_harness.json] [-baseline-tol 0.01]
+//	           [-summary-md path]
 //	evalrunner -merge -out merged.json shard0.json shard1.json ...
 //
 // -shard I/N keeps only the scenarios whose corpus index ≡ I (mod N), so a
@@ -26,10 +28,20 @@
 // (offload gain, tuned-beats-fixed) are skipped on individual shards —
 // they only make sense on the full artifact.
 //
+// -check-baseline gates the sweep against a committed artifact: the
+// per-profile geometric-mean speedups (fixed and, when both sides tuned,
+// tuned), recomputed over the scenarios the two corpora share, must not
+// fall more than -baseline-tol (relative, default 1%) below the baseline.
+// -summary-md appends the per-profile geomean table as GitHub-flavoured
+// markdown to the named file — point it at $GITHUB_STEP_SUMMARY so
+// reviewers see the perf delta without downloading artifacts. Both flags
+// work on sweep and -merge runs.
+//
 // Exit status is nonzero when any scenario fails the correctness oracle,
-// any scenario errors, any measurement reports a non-positive speedup, or
-// (on unsharded or merged runs) an offload machine — identified by its
-// Offload flag, not by name — shows no aggregate overlap gain.
+// any scenario errors, any measurement reports a non-positive speedup, the
+// baseline check regresses, or (on unsharded or merged runs) an offload
+// machine — identified by its Offload flag, not by name — shows no
+// aggregate overlap gain.
 package main
 
 import (
@@ -56,10 +68,22 @@ func main() {
 	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
 	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
+	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
+	baselineTol := flag.Float64("baseline-tol", 0.01, "relative tolerance for -check-baseline (0.01 = 1%)")
+	summaryMD := flag.String("summary-md", "", "append the per-profile geomean table as markdown to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
+	// The baseline must be read before any artifact is written: with the
+	// default -out the sweep would otherwise overwrite the committed
+	// baseline first and then vacuously compare the run against itself.
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner: -check-baseline:", err)
+		os.Exit(1)
+	}
+
 	if *merge {
-		runMerge(*out, flag.Args(), *seed, *quiet)
+		runMerge(*out, flag.Args(), *seed, *quiet, baseline, *baselineTol, *summaryMD)
 		return
 	}
 	if flag.NArg() > 0 {
@@ -129,14 +153,58 @@ func main() {
 	if sharded {
 		fmt.Fprintln(os.Stderr, "evalrunner: shard run — aggregate gates deferred to -merge")
 	}
-	if !gates(rep, aggregate, strict, *tuneFlag) {
+	ok := gates(rep, aggregate, strict, *tuneFlag)
+	ok = postProcess(rep, baseline, *baselineTol, *summaryMD, "differential sweep") && ok
+	if !ok {
 		os.Exit(1)
 	}
 }
 
+// loadBaseline reads the -check-baseline artifact ("" means the gate is
+// off). It runs before any sweeping or writing so a bad path fails fast
+// and a sweep can never compare itself against a file it just overwrote.
+func loadBaseline(path string) (*harness.Report, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return harness.ReadJSON(path)
+}
+
+// postProcess applies the optional baseline-regression check (baseline nil
+// means off) and appends the markdown step summary; it returns false when
+// the baseline gate fails.
+func postProcess(rep, baseline *harness.Report, tol float64, summaryMD, title string) bool {
+	ok := true
+	if baseline != nil {
+		if viols := harness.CompareBaseline(rep, baseline, tol); len(viols) > 0 {
+			for _, v := range viols {
+				fmt.Fprintln(os.Stderr, "evalrunner:", v)
+			}
+			ok = false
+		} else {
+			fmt.Printf("baseline check ok (tolerance %.1f%%)\n", tol*100)
+		}
+	}
+	if summaryMD != "" {
+		f, err := os.OpenFile(summaryMD, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, err = f.WriteString(rep.MarkdownSummary(title))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			// The step summary is informational; failing the sweep over it
+			// would hide the real verdict.
+			fmt.Fprintln(os.Stderr, "evalrunner: -summary-md:", err)
+		}
+	}
+	return ok
+}
+
 // runMerge folds shard artifacts into one report, writes it, and applies
 // the full gate set.
-func runMerge(out string, paths []string, seed int64, quiet bool) {
+func runMerge(out string, paths []string, seed int64, quiet bool, baseline *harness.Report, baselineTol float64, summaryMD string) {
 	if len(paths) < 2 {
 		fmt.Fprintln(os.Stderr, "evalrunner: -merge needs at least two input artifacts")
 		os.Exit(1)
@@ -173,7 +241,9 @@ func runMerge(out string, paths []string, seed int64, quiet bool) {
 	}
 	full := workload.GenerateScenarios(workload.GenOptions{Seed: seed})
 	strict := len(rep.Scenarios) == len(full)
-	if !gates(rep, true, strict, tuned) {
+	ok := gates(rep, true, strict, tuned)
+	ok = postProcess(rep, baseline, baselineTol, summaryMD, "merged tuned sweep") && ok
+	if !ok {
 		os.Exit(1)
 	}
 }

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
@@ -200,6 +201,15 @@ func Apply(p *Program, pl *plan.Plan) (string, *Report, error) {
 	if err := pl.Validate(); err != nil {
 		return "", nil, err
 	}
+	// A plan entry keyed to a site the program does not contain is a stale
+	// or mistyped plan (e.g. replaying a dump against edited source); apply
+	// it loudly instead of silently falling back to the default everywhere.
+	for _, sp := range pl.Sites {
+		if p.Site(sp.Site) == nil {
+			return "", nil, fmt.Errorf("plan: site %q does not exist in the program (have %s)",
+				sp.Site, strings.Join(siteKeys(p), ", "))
+		}
+	}
 	key := pl.Key()
 	p.mu.Lock()
 	if r, ok := p.memo[key]; ok {
@@ -218,6 +228,27 @@ func Apply(p *Program, pl *plan.Plan) (string, *Report, error) {
 	p.memo[key] = r
 	p.mu.Unlock()
 	return r.src, r.rep, r.err
+}
+
+// siteKeys lists the analyzed sites' plan keys in program order.
+func siteKeys(p *Program) []string {
+	keys := make([]string, len(p.Sites))
+	for i := range p.Sites {
+		keys[i] = p.Sites[i].Key()
+	}
+	return keys
+}
+
+// TransformableCount returns the number of analyzed sites the transformation
+// can rewrite — the count a full per-site plan must cover.
+func (p *Program) TransformableCount() int {
+	n := 0
+	for i := range p.Sites {
+		if p.Sites[i].Transformable {
+			n++
+		}
+	}
+	return n
 }
 
 // Transform parses src, transforms every transformable MPI_ALLTOALL site,

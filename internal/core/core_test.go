@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/plan"
+	"repro/internal/workload"
 )
 
 func readTestdata(t *testing.T, name string) string {
@@ -466,5 +467,108 @@ func TestPlanKnobsChangeCodegen(t *testing.T) {
 	}
 	if rep.Sites[0].Decision.K != 8 {
 		t.Errorf("report decision K=%d, want 8", rep.Sites[0].Decision.K)
+	}
+}
+
+// TestApplyRejectsUnknownSite: a plan entry keyed to a site the program
+// does not contain (a stale dump, a typo) must fail loudly instead of
+// silently applying the default everywhere.
+func TestApplyRejectsUnknownSite(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Uniform(plan.Decision{K: 4})
+	pl.Set("999:1", plan.Decision{K: 8}.Normalize())
+	if _, _, err := core.Apply(prog, pl); err == nil {
+		t.Fatal("Apply accepted a plan referencing a nonexistent site")
+	} else if !strings.Contains(err.Error(), "999:1") {
+		t.Errorf("error does not name the bogus site: %v", err)
+	}
+	// The real site key still works.
+	pl = plan.Uniform(plan.Decision{K: 4})
+	pl.Set(prog.Sites[0].Key(), plan.Decision{K: 8}.Normalize())
+	if _, _, err := core.Apply(prog, pl); err != nil {
+		t.Fatalf("Apply rejected a valid per-site plan: %v", err)
+	}
+}
+
+// TestMultiSiteDivergentApply: a multi-site program rewritten under a plan
+// with a different decision per site must (a) transform every site with
+// its own K, (b) keep the generated cc_* helper names unique across sites,
+// and (c) still run bit-identically to the original.
+func TestMultiSiteDivergentApply(t *testing.T) {
+	src := workload.MultiSource(workload.MultiParams{
+		NX: 256, M: 16, NY: 8, SZ: 8, NP: 4,
+	})
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.TransformableCount() != 2 {
+		t.Fatalf("transformable sites = %d, want 2", prog.TransformableCount())
+	}
+	wantK := map[string]int64{}
+	pl := plan.Uniform(plan.Decision{K: 4})
+	ks := []int64{16, 2}
+	for i := range prog.Sites {
+		pl.Set(prog.Sites[i].Key(), plan.Decision{K: ks[i]}.Normalize())
+		wantK[prog.Sites[i].Key()] = ks[i]
+	}
+	out, rep, err := core.Apply(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransformedCount() != 2 {
+		t.Fatalf("transformed %d sites, want 2:\n%s", rep.TransformedCount(), rep)
+	}
+	for _, sr := range rep.Sites {
+		if got := sr.Result.K; got != wantK[sr.Pos.String()] {
+			t.Errorf("site %s transformed at K=%d, want %d", sr.Pos, got, wantK[sr.Pos.String()])
+		}
+	}
+	// Fresh names must not collide across the two rewritten sites: every
+	// cc_* identifier is declared exactly once.
+	f, err := ftn.Parse(out)
+	if err != nil {
+		t.Fatalf("transformed source does not re-parse: %v", err)
+	}
+	declared := map[string]int{}
+	for _, u := range f.Units {
+		for _, d := range u.Decls {
+			for _, e := range d.Entities {
+				if strings.HasPrefix(e.Name, "cc_") {
+					declared[e.Name]++
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("no cc_* helpers declared")
+	}
+	for name, n := range declared {
+		if n != 1 {
+			t.Errorf("helper %s declared %d times", name, n)
+		}
+	}
+	// Differential run: original vs divergent-plan rewrite.
+	for _, variant := range []string{src, out} {
+		if _, err := interp.Load(variant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig, _ := interp.Load(src)
+	pre, _ := interp.Load(out)
+	ro, err := orig.Run(4, netsim.MPICHGM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := pre.Run(4, netsim.MPICHGM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, why := interp.SameObservable(ro, rt, "ar", "br"); !same {
+		t.Errorf("divergent-plan rewrite changed results: %s", why)
 	}
 }

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareBaseline checks the current sweep's per-profile geometric-mean
+// speedups against a committed baseline artifact and returns one message
+// per regression (empty means the gate passes). The comparison is taken
+// over the intersection of the two corpora — outcomes matched by corpus
+// index and name — so a truncated or sharded CI sweep gates against the
+// committed full-corpus artifact, and corpus growth does not break older
+// baselines. Both the fixed and (when both sides tuned) the tuned geomeans
+// must stay within rel tolerance tol of the baseline; improvements never
+// fail.
+func CompareBaseline(cur, base *Report, tol float64) []string {
+	type key struct {
+		index int
+		name  string
+	}
+	curSet := map[key]bool{}
+	for _, o := range cur.Scenarios {
+		curSet[key{o.Index, o.Name}] = true
+	}
+	var curSub, baseSub []Outcome
+	baseSet := map[key]bool{}
+	for _, o := range base.Scenarios {
+		if curSet[key{o.Index, o.Name}] {
+			baseSub = append(baseSub, o)
+			baseSet[key{o.Index, o.Name}] = true
+		}
+	}
+	for _, o := range cur.Scenarios {
+		if baseSet[key{o.Index, o.Name}] {
+			curSub = append(curSub, o)
+		}
+	}
+	if len(curSub) == 0 {
+		return []string{"baseline: no overlapping scenarios between the sweep and the baseline (corpus or seed mismatch?)"}
+	}
+	curSum := summarize(curSub)
+	baseSum := summarize(baseSub)
+
+	baseFor := map[string]ProfileSummary{}
+	for _, ps := range baseSum.PerProfile {
+		baseFor[ps.Profile] = ps
+	}
+	var violations []string
+	// A baseline profile entirely absent from the sweep must fail, not
+	// pass vacuously — dropping the offload machine from the CI sweep
+	// would otherwise disable the headline comparison silently.
+	curProfiles := map[string]bool{}
+	for _, ps := range curSum.PerProfile {
+		curProfiles[ps.Profile] = true
+	}
+	for _, bs := range baseSum.PerProfile {
+		if !curProfiles[bs.Profile] {
+			violations = append(violations, fmt.Sprintf(
+				"baseline: profile %s is in the baseline but absent from the sweep — machine set changed?", bs.Profile))
+		}
+	}
+	for _, ps := range curSum.PerProfile {
+		bs, ok := baseFor[ps.Profile]
+		if !ok {
+			continue // machine newly added to the sweep: nothing to gate against
+		}
+		if bs.Geomean > 0 && ps.Geomean < bs.Geomean*(1-tol) {
+			violations = append(violations, fmt.Sprintf(
+				"baseline: %s fixed geomean %.4f below baseline %.4f (tolerance %.1f%%, %d shared scenarios)",
+				ps.Profile, ps.Geomean, bs.Geomean, tol*100, len(curSub)))
+		}
+		if bs.TunedGeomean > 0 && ps.TunedGeomean > 0 && ps.TunedGeomean < bs.TunedGeomean*(1-tol) {
+			violations = append(violations, fmt.Sprintf(
+				"baseline: %s tuned geomean %.4f below baseline %.4f (tolerance %.1f%%, %d shared scenarios)",
+				ps.Profile, ps.TunedGeomean, bs.TunedGeomean, tol*100, len(curSub)))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// MarkdownSummary renders the sweep's aggregate row as a GitHub-flavoured
+// markdown fragment, suitable for $GITHUB_STEP_SUMMARY: a per-profile
+// geomean table plus the headline counters.
+func (r *Report) MarkdownSummary(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", title)
+	fmt.Fprintf(&sb, "%d scenarios, %d identical, %d errors",
+		r.Summary.Scenarios, r.Summary.Correct, r.Summary.Errors)
+	if r.Summary.NonDefaultPlans > 0 {
+		fmt.Fprintf(&sb, ", %d non-default plan(s)", r.Summary.NonDefaultPlans)
+	}
+	if r.Summary.DivergentPlans > 0 {
+		fmt.Fprintf(&sb, ", %d divergent plan(s)", r.Summary.DivergentPlans)
+	}
+	sb.WriteString("\n\n")
+	tuned := false
+	for _, ps := range r.Summary.PerProfile {
+		if ps.TunedGeomean > 0 {
+			tuned = true
+		}
+	}
+	if tuned {
+		sb.WriteString("| machine | offload | geomean speedup | tuned geomean |\n|---|---|---:|---:|\n")
+	} else {
+		sb.WriteString("| machine | offload | geomean speedup |\n|---|---|---:|\n")
+	}
+	for _, ps := range r.Summary.PerProfile {
+		offload := "no"
+		if ps.Offload {
+			offload = "yes"
+		}
+		if tuned {
+			tg := "-"
+			if ps.TunedGeomean > 0 {
+				tg = fmt.Sprintf("%.4f", ps.TunedGeomean)
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.4f | %s |\n", ps.Profile, offload, ps.Geomean, tg)
+		} else {
+			fmt.Fprintf(&sb, "| %s | %s | %.4f |\n", ps.Profile, offload, ps.Geomean)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

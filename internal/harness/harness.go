@@ -26,13 +26,14 @@ import (
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout. v3 moves the sweep onto the
-// Plan/Apply pipeline: profiles become named machine models, every scenario
-// records the plan its fixed run replayed, tuned rows record the full
-// chosen plan decision (K plus wait schedule, send order, and interchange
-// gate), and outcomes carry their corpus index so sharded sweeps merge
-// deterministically.
-const Schema = "repro/bench-harness/v3"
+// Schema identifies the JSON artifact layout. v4 makes the sweep per-site:
+// the report records the machine set it was swept under (so shard merges
+// can reject mismatches without scanning outcomes), tuned rows carry one
+// decision per MPI_ALLTOALL site plus the analytic seed tile sizes that
+// proposed each site's search, a tuned row whose sites diverge is flagged
+// (with the best uniform speedup it had to beat), and the summary counts
+// divergent plans next to the non-default ones.
+const Schema = "repro/bench-harness/v4"
 
 // Config parameterizes one sweep.
 type Config struct {
@@ -122,16 +123,33 @@ type Outcome struct {
 type TunedRun struct {
 	Profile string `json:"profile"`
 	Offload bool   `json:"offload"`
-	// Plan is the chosen decision: tile size plus the non-K knobs (wait
-	// schedule, send order, interchange gate).
+	// Plan is the first site's chosen decision — the whole plan for the
+	// single-site kernels that dominate the corpus; Sites carries every
+	// site's decision for multi-site programs.
 	Plan         plan.Decision `json:"plan"`
 	ChosenK      int64         `json:"chosen_k"`
 	TunedSpeedup float64       `json:"tuned_speedup"`
 	TunedNs      int64         `json:"tuned_prepush_ns"`
 	FixedSpeedup float64       `json:"fixed_speedup"`
+	// Sites are the per-site decisions and per-site analytic seeds of the
+	// chosen plan, in program order.
+	Sites []TunedSite `json:"sites,omitempty"`
+	// Divergent marks a chosen plan whose sites do not all share one
+	// decision; UniformSpeedup is the best measured speedup any uniform
+	// plan achieved — the baseline a divergent plan had to beat.
+	Divergent      bool    `json:"divergent,omitempty"`
+	UniformSpeedup float64 `json:"best_uniform_speedup,omitempty"`
 	// Search cost: measured pre-push runs and the simulated time they took.
 	Evaluations int   `json:"evaluations"`
 	SearchSimNs int64 `json:"search_sim_ns"`
+}
+
+// TunedSite is one site's slice of a tuned plan: the chosen decision plus
+// the analytic tile sizes the machine model seeded the site's search with.
+type TunedSite struct {
+	Site     string        `json:"site"`
+	Decision plan.Decision `json:"decision"`
+	SeedKs   []int64       `json:"seed_ks,omitempty"`
 }
 
 // Summary aggregates a sweep.
@@ -159,6 +177,10 @@ type Summary struct {
 	// interchange gate) — the signal that the multi-knob search is finding
 	// wins the K-only tuner could not.
 	NonDefaultPlans int `json:"non_default_plans"`
+	// DivergentPlans counts tuned rows whose chosen plan gives different
+	// decisions to different MPI_ALLTOALL sites of one program — the signal
+	// that the per-site search is finding wins no uniform plan can express.
+	DivergentPlans int `json:"divergent_plans"`
 }
 
 // ProfileSummary is one machine's aggregate row.
@@ -176,7 +198,11 @@ type ProfileSummary struct {
 
 // Report is the sweep artifact (marshalled to BENCH_harness.json).
 type Report struct {
-	Schema    string    `json:"schema"`
+	Schema string `json:"schema"`
+	// Machines names the machine-model set the sweep ran under, in sweep
+	// order. Merge requires it to agree across shards — an outcome-level
+	// scan alone can miss a mismatch when a shard's scenarios all errored.
+	Machines  []string  `json:"machines,omitempty"`
 	Scenarios []Outcome `json:"scenarios"`
 	Summary   Summary   `json:"summary"`
 }
@@ -227,6 +253,9 @@ func Run(cfg Config) (*Report, error) {
 	wg.Wait()
 
 	rep := &Report{Schema: Schema, Scenarios: outcomes}
+	for _, m := range machines {
+		rep.Machines = append(rep.Machines, m.Name)
+	}
 	rep.Summary = summarize(outcomes)
 	return rep, nil
 }
@@ -258,6 +287,11 @@ func runScenario(sc workload.Scenario, machines []plan.Machine, arrays []string,
 		return out
 	}
 	machines = machinesFor(sc, machines)
+	// A scenario naming its own observable arrays (multi-site kernels have
+	// one receive array per exchange) overrides the sweep default.
+	if len(sc.Arrays) > 0 {
+		arrays = sc.Arrays
+	}
 
 	// 1. Analyze (parse + per-site opportunities) and apply the fixed plan.
 	prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
@@ -328,13 +362,20 @@ func runScenario(sc workload.Scenario, machines []plan.Machine, arrays []string,
 			return fail("tune: %v", err)
 		}
 		for _, c := range choices {
-			out.Tuned = append(out.Tuned, TunedRun{
+			tr := TunedRun{
 				Profile: c.Machine, Offload: c.Offload,
 				Plan: c.Chosen, ChosenK: c.Chosen.K,
 				TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
 				FixedSpeedup: c.FixedSpeedup,
-				Evaluations:  c.Evaluations, SearchSimNs: c.SearchSimNs,
-			})
+				Divergent:    c.Divergent, UniformSpeedup: c.UniformSpeedup,
+				Evaluations: c.Evaluations, SearchSimNs: c.SearchSimNs,
+			}
+			for _, st := range c.Sites {
+				tr.Sites = append(tr.Sites, TunedSite{
+					Site: st.Site, Decision: st.Decision, SeedKs: st.SeedKs,
+				})
+			}
+			out.Tuned = append(out.Tuned, tr)
 		}
 	}
 	return out
@@ -351,9 +392,18 @@ func Merge(reports []*Report) (*Report, error) {
 		return nil, fmt.Errorf("harness: nothing to merge")
 	}
 	var outcomes []Outcome
+	machineSet := ""
 	for i, r := range reports {
 		if r.Schema != Schema {
-			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q", i, r.Schema, Schema)
+			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q — regenerate the shard with this binary", i, r.Schema, Schema)
+		}
+		// The report-level machine list catches mismatches even when every
+		// scenario of a shard errored (no outcome rows to compare).
+		ms := strings.Join(r.Machines, ",")
+		if i == 0 {
+			machineSet = ms
+		} else if ms != machineSet {
+			return nil, fmt.Errorf("harness: merge input %d was swept under machine set [%s], want [%s] — shards must use identical -machines", i, ms, machineSet)
 		}
 		outcomes = append(outcomes, r.Scenarios...)
 	}
@@ -394,7 +444,7 @@ func Merge(reports []*Report) (*Report, error) {
 			return nil, fmt.Errorf("harness: merge mixes tuned and untuned shards (%s)", o.Name)
 		}
 	}
-	rep := &Report{Schema: Schema, Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Machines: reports[0].Machines, Scenarios: outcomes}
 	rep.Summary = summarize(outcomes)
 	return rep, nil
 }
@@ -473,6 +523,9 @@ func summarize(outcomes []Outcome) Summary {
 			}
 			if diffInNonKKnob(o.Plan, tr.Plan) {
 				s.NonDefaultPlans++
+			}
+			if tr.Divergent {
+				s.DivergentPlans++
 			}
 		}
 		if gained {
@@ -555,7 +608,7 @@ func (r *Report) Table() string {
 				netsim.Time(pr.OriginalNs), netsim.Time(pr.PrepushNs), pr.Speedup)
 			if tuned {
 				if tr := o.tunedFor(pr.Profile); tr != nil {
-					fmt.Fprintf(&sb, " %-20s %7.2f", describePlan(tr.Plan), tr.TunedSpeedup)
+					fmt.Fprintf(&sb, " %-20s %7.2f", describeTuned(tr), tr.TunedSpeedup)
 				} else {
 					fmt.Fprintf(&sb, " %-20s %7s", "-", "-")
 				}
@@ -573,6 +626,9 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&sb, "%d tuned plan(s) differ from the default in a non-K knob\n",
 			r.Summary.NonDefaultPlans)
 	}
+	if r.Summary.DivergentPlans > 0 {
+		fmt.Fprintf(&sb, "%d tuned plan(s) diverge across sites\n", r.Summary.DivergentPlans)
+	}
 	for _, ps := range r.Summary.PerProfile {
 		fmt.Fprintf(&sb, "geomean speedup %-14s %.3f", ps.Profile, ps.Geomean)
 		if ps.TunedGeomean > 0 {
@@ -584,6 +640,19 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&sb, "\n")
 	}
 	return sb.String()
+}
+
+// describeTuned renders a tuned row's chosen plan: the single decision for
+// uniform plans, the per-site decisions joined with "|" for divergent ones.
+func describeTuned(tr *TunedRun) string {
+	if !tr.Divergent || len(tr.Sites) == 0 {
+		return describePlan(tr.Plan)
+	}
+	parts := make([]string, len(tr.Sites))
+	for i, ts := range tr.Sites {
+		parts[i] = describePlan(ts.Decision)
+	}
+	return strings.Join(parts, "|")
 }
 
 // describePlan renders a decision compactly for the table, e.g.

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -126,7 +127,7 @@ func TestCorpusShape(t *testing.T) {
 			t.Errorf("%s: np=%d", sc.Name, sc.NP)
 		}
 	}
-	for _, f := range []string{"direct", "inner3d", "indirect", "fft", "lu", "sort", "ragged"} {
+	for _, f := range []string{"direct", "inner3d", "indirect", "fft", "lu", "sort", "ragged", "xchg", "multi"} {
 		if families[f] == 0 {
 			t.Errorf("family %s missing from corpus", f)
 		}
@@ -434,5 +435,238 @@ func TestBrokenScenarioIsolated(t *testing.T) {
 	}
 	if rep.Summary.Correct != 1 {
 		t.Errorf("good scenario should still pass (correct=%d)", rep.Summary.Correct)
+	}
+}
+
+// TestMultiSiteScenarios: the multi family runs the full differential
+// chain — every site rewritten, every receive array compared — and passes
+// the oracle end-to-end.
+func TestMultiSiteScenarios(t *testing.T) {
+	var multi []workload.Scenario
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
+		if sc.Family == "multi" {
+			multi = append(multi, sc)
+		}
+	}
+	if len(multi) < 3 {
+		t.Fatalf("only %d multi scenarios, want ≥ 3", len(multi))
+	}
+	sites := map[int]bool{}
+	for _, sc := range multi {
+		sites[sc.Sites] = true
+		if len(sc.Arrays) != sc.Sites {
+			t.Errorf("%s: %d oracle arrays for %d sites", sc.Name, len(sc.Arrays), sc.Sites)
+		}
+	}
+	if !sites[2] || !sites[3] {
+		t.Errorf("multi family should cover 2- and 3-site programs, got %v", sites)
+	}
+	rep, err := Run(Config{Scenarios: multi, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Correct != len(multi) || rep.Summary.Errors != 0 {
+		t.Fatalf("multi scenarios failed:\n%s", rep.Table())
+	}
+	for _, o := range rep.Scenarios {
+		want := 2
+		if strings.HasPrefix(o.Name, "multi/s3/") {
+			want = 3
+		}
+		if o.TransformedSites != want {
+			t.Errorf("%s: %d sites transformed, want %d", o.Name, o.TransformedSites, want)
+		}
+	}
+}
+
+// TestTunedMultiSiteDivergence: a tuned sweep over a multi scenario must
+// record per-site decisions and seeds in the artifact, count divergent
+// plans in the summary, and show the divergent plan beating the best
+// uniform plan on at least one machine.
+func TestTunedMultiSiteDivergence(t *testing.T) {
+	var multi *workload.Scenario
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
+		if sc.Family == "multi" {
+			sc := sc
+			multi = &sc
+			break
+		}
+	}
+	if multi == nil {
+		t.Fatal("no multi scenario")
+	}
+	rep, err := Run(Config{Scenarios: []workload.Scenario{*multi}, Parallelism: 1, Tune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 0 || rep.Summary.Correct != 1 {
+		t.Fatalf("tuned multi sweep failed:\n%s", rep.Table())
+	}
+	if rep.Summary.DivergentPlans == 0 {
+		t.Fatalf("no divergent plans recorded:\n%s", rep.Table())
+	}
+	beats := false
+	for _, tr := range rep.Scenarios[0].Tuned {
+		if len(tr.Sites) != multi.Sites {
+			t.Errorf("%s: tuned row has %d sites, want %d", tr.Profile, len(tr.Sites), multi.Sites)
+		}
+		for _, ts := range tr.Sites {
+			if len(ts.SeedKs) == 0 {
+				t.Errorf("%s/%s: no per-site analytic seeds in the artifact", tr.Profile, ts.Site)
+			}
+		}
+		if tr.Divergent {
+			if tr.UniformSpeedup <= 0 {
+				t.Errorf("%s: divergent row missing the uniform baseline", tr.Profile)
+			}
+			if tr.TunedSpeedup > tr.UniformSpeedup {
+				beats = true
+			}
+		}
+	}
+	if !beats {
+		t.Error("no divergent tuned plan strictly beat the best uniform plan")
+	}
+	if !strings.Contains(rep.Table(), "|") {
+		t.Error("table does not render the divergent per-site plan")
+	}
+}
+
+// TestDivergentPlanCounting: summarize counts tuned rows flagged divergent
+// — and only those.
+func TestDivergentPlanCounting(t *testing.T) {
+	fixed := plan.Decision{K: 8}.Normalize()
+	outcomes := []Outcome{
+		{
+			Name: "a", Identical: true, Plan: fixed,
+			Profiles: []ProfileRun{{Profile: "p", Speedup: 1.2}},
+			Tuned: []TunedRun{
+				{Profile: "p", TunedSpeedup: 1.3, Plan: plan.Decision{K: 4}.Normalize(), Divergent: true},
+				{Profile: "q", TunedSpeedup: 1.4, Plan: plan.Decision{K: 8}.Normalize()},
+			},
+		},
+	}
+	s := summarize(outcomes)
+	if s.DivergentPlans != 1 {
+		t.Errorf("DivergentPlans = %d, want 1", s.DivergentPlans)
+	}
+}
+
+// TestMergeRejectsReportLevelMachineMismatch: shards swept under different
+// machine sets must be rejected from the report-level machine list even
+// when their outcomes cannot be compared (e.g. every scenario errored).
+func TestMergeRejectsReportLevelMachineMismatch(t *testing.T) {
+	corpus := smallCorpus(t, 2)
+	a, err := Run(Config{Scenarios: corpus[:1], Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An all-errored shard carries no outcome profile rows — only the
+	// report-level machine list can catch the mismatch.
+	b := &Report{
+		Schema:   Schema,
+		Machines: []string{"hpc-rdma-2019"},
+		Scenarios: []Outcome{{
+			Index: corpus[1].Index, Name: corpus[1].Name, Seed: corpus[1].Seed,
+			Err: "synthetic failure",
+		}},
+	}
+	if _, err := Merge([]*Report{a, b}); err == nil {
+		t.Fatal("merge accepted shards with mismatched machine sets")
+	} else if !strings.Contains(err.Error(), "machine set") {
+		t.Errorf("unhelpful merge error: %v", err)
+	}
+	// Same machines merge fine.
+	b.Machines = append([]string(nil), a.Machines...)
+	if _, err := Merge([]*Report{a, b}); err != nil {
+		t.Fatalf("merge rejected matching shards: %v", err)
+	}
+}
+
+// TestCompareBaseline: the regression gate compares per-profile geomeans
+// over the scenario intersection, fails on regressions beyond tolerance,
+// and passes on improvements or in-tolerance noise.
+func TestCompareBaseline(t *testing.T) {
+	mk := func(speedups map[string][]float64) *Report {
+		// speedups: profile -> per-scenario speedup (index i = scenario i).
+		var n int
+		for _, v := range speedups {
+			n = len(v)
+		}
+		rep := &Report{Schema: Schema}
+		for i := 0; i < n; i++ {
+			o := Outcome{Index: i, Name: fmt.Sprintf("s%d", i), Identical: true}
+			for _, prof := range []string{"p", "q"} {
+				v, ok := speedups[prof]
+				if !ok {
+					continue
+				}
+				o.Profiles = append(o.Profiles, ProfileRun{Profile: prof, Speedup: v[i]})
+			}
+			rep.Scenarios = append(rep.Scenarios, o)
+		}
+		rep.Summary = summarize(rep.Scenarios)
+		return rep
+	}
+	base := mk(map[string][]float64{"p": {1.2, 1.1, 1.3}, "q": {1.0, 1.0, 1.0}})
+
+	// Identical sweep: clean.
+	if v := CompareBaseline(mk(map[string][]float64{"p": {1.2, 1.1, 1.3}, "q": {1.0, 1.0, 1.0}}), base, 0.01); len(v) != 0 {
+		t.Errorf("identical sweep flagged: %v", v)
+	}
+	// A clear regression on p fails.
+	if v := CompareBaseline(mk(map[string][]float64{"p": {1.0, 0.9, 1.0}, "q": {1.0, 1.0, 1.0}}), base, 0.01); len(v) == 0 {
+		t.Error("regression passed the gate")
+	} else if !strings.Contains(v[0], "p") {
+		t.Errorf("violation does not name the profile: %v", v)
+	}
+	// Improvements never fail.
+	if v := CompareBaseline(mk(map[string][]float64{"p": {2.0, 2.0, 2.0}, "q": {1.5, 1.5, 1.5}}), base, 0.01); len(v) != 0 {
+		t.Errorf("improvement flagged: %v", v)
+	}
+	// Within-tolerance noise passes (0.5% drop, 1% tolerance).
+	if v := CompareBaseline(mk(map[string][]float64{"p": {1.194, 1.095, 1.293}, "q": {1.0, 1.0, 1.0}}), base, 0.01); len(v) != 0 {
+		t.Errorf("in-tolerance drift flagged: %v", v)
+	}
+	// A truncated sweep gates on the intersection only: scenario 0 alone,
+	// with the baseline's own value, passes even though the other rows are
+	// missing.
+	trunc := mk(map[string][]float64{"p": {1.2}, "q": {1.0}})
+	if v := CompareBaseline(trunc, base, 0.01); len(v) != 0 {
+		t.Errorf("truncated sweep flagged: %v", v)
+	}
+	// Disjoint corpora are an explicit error, not a silent pass.
+	disjoint := mk(map[string][]float64{"p": {1.2}, "q": {1.0}})
+	for i := range disjoint.Scenarios {
+		disjoint.Scenarios[i].Name = "other"
+	}
+	if v := CompareBaseline(disjoint, base, 0.01); len(v) == 0 {
+		t.Error("disjoint corpora passed silently")
+	}
+}
+
+// TestCompareBaselineMissingProfile: a profile present in the baseline but
+// absent from the sweep must be a violation, not a vacuous pass.
+func TestCompareBaselineMissingProfile(t *testing.T) {
+	base := &Report{Schema: Schema, Scenarios: []Outcome{{
+		Index: 0, Name: "s0", Identical: true,
+		Profiles: []ProfileRun{{Profile: "p", Speedup: 1.2}, {Profile: "q", Speedup: 1.1}},
+	}}}
+	base.Summary = summarize(base.Scenarios)
+	cur := &Report{Schema: Schema, Scenarios: []Outcome{{
+		Index: 0, Name: "s0", Identical: true,
+		Profiles: []ProfileRun{{Profile: "p", Speedup: 1.2}},
+	}}}
+	cur.Summary = summarize(cur.Scenarios)
+	v := CompareBaseline(cur, base, 0.01)
+	if len(v) == 0 {
+		t.Fatal("dropping profile q from the sweep passed the baseline gate")
+	}
+	if !strings.Contains(v[0], "q") {
+		t.Errorf("violation does not name the missing profile: %v", v)
+	}
+	// A profile newly added to the sweep (absent from the baseline) is fine.
+	if v := CompareBaseline(base, cur, 0.01); len(v) != 0 {
+		t.Errorf("newly added profile flagged: %v", v)
 	}
 }

@@ -30,6 +30,48 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMultiSiteDivergentRoundTrip: a plan giving every site of a
+// multi-site program its own decision — different K, wait, send order, and
+// interchange gate per site — must survive Encode → Decode byte-exactly,
+// resolve each site to its own decision, and keep distinct keys from any
+// uniform collapse of it.
+func TestMultiSiteDivergentRoundTrip(t *testing.T) {
+	decisions := map[string]Decision{
+		"21:3": Decision{K: 256}.Normalize(),
+		"30:3": Decision{K: 4, Wait: WaitPerTile}.Normalize(),
+		"42:3": Decision{K: 16, SendOrder: SendSequential, Interchange: InterchangeOff}.Normalize(),
+	}
+	p := Uniform(Decision{K: 8})
+	for site, d := range decisions {
+		p.Set(site, d)
+	}
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, b)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Errorf("round trip changed the plan:\nbefore %+v\nafter  %+v", p, back)
+	}
+	for site, want := range decisions {
+		if got := back.For(site); got != want {
+			t.Errorf("site %s resolved to %+v, want %+v", site, got, want)
+		}
+	}
+	// A site not named still falls back to the default.
+	if got := back.For("99:1"); got != p.Default.Normalize() {
+		t.Errorf("unnamed site resolved to %+v", got)
+	}
+	// Divergence is visible in the key: collapsing every site onto the
+	// default must change it.
+	if back.Key() == Uniform(Decision{K: 8}).Key() {
+		t.Error("divergent plan keys like the uniform plan")
+	}
+}
+
 // TestDefaultPlan: the Default constructor yields a valid, normalized,
 // machine-stamped uniform plan.
 func TestDefaultPlan(t *testing.T) {

@@ -3,17 +3,27 @@
 // and fixes the wait placement (§3.6) and interchange gate (§3.5) as
 // heuristics; related work (Cui & Pericàs; Kumar et al.) shows overlap
 // decisions are platform-sensitive and that an analytic cost model can seed
-// a measured search cheaply. The tuner does exactly that over plan.Decision
-// space: candidate tile sizes are seeded from the machine's LogGP-flavoured
+// a measured search cheaply. The tuner does exactly that over plan space:
+// candidate tile sizes are seeded from the machine's LogGP-flavoured
 // profile constants and CPU cost model (eager/rendezvous crossover,
 // per-message setup amortization, and the sqrt-form pipeline optimum), then
 // refined by a deterministic hill-climb of simulated runs; at the best K,
 // the non-K knobs — wait schedule, send order, interchange gate — are
-// flipped greedily, adopting only strictly better settings. Every measured
-// candidate passes through the same Analyze → Apply → run pipeline as the
-// harness and is checked against the bit-identical oracle; a candidate that
-// corrupts results is never chosen, and the fixed-K default decision is
-// always measured first so the tuned choice can never lose to the baseline.
+// flipped greedily, adopting only strictly better settings.
+//
+// The search is per site. A program with several MPI_ALLTOALL sites first
+// gets the uniform search above (every site shares one decision — the best
+// uniform plan is recorded as its own baseline), then coordinate descent
+// across sites: each site's K and knobs are climbed with the other sites'
+// decisions held fixed, iterating over the sites until a whole pass adopts
+// nothing or the measurement budget runs out. Candidates are memoized by
+// the whole plan's canonical key, so revisiting a decision vector — or
+// reaching the same generated source through a knob no-op — costs nothing.
+// Every measured candidate passes through the same Analyze → Apply → run
+// pipeline as the harness and is checked against the bit-identical oracle;
+// a candidate that corrupts results is never chosen, and the fixed-K
+// default decision is always measured first so the tuned choice can never
+// lose to the baseline.
 package tune
 
 import (
@@ -26,10 +36,19 @@ import (
 	"repro/internal/plan"
 )
 
-// DefaultMaxMeasured bounds measured candidates per (kernel, machine). The
-// knob stage needs headroom beyond the K climb, so the budget sits above
-// the K-only tuner's historical 10.
+// DefaultMaxMeasured bounds measured candidates per (kernel, machine) for a
+// single-site kernel. The knob stage needs headroom beyond the K climb, so
+// the budget sits above the K-only tuner's historical 10.
 const DefaultMaxMeasured = 14
+
+// PerSiteExtraMeasured is the additional default budget granted for every
+// MPI_ALLTOALL site beyond the first: the coordinate-descent stage needs
+// its own headroom to move each site off the uniform incumbent.
+const PerSiteExtraMeasured = 10
+
+// maxDescentPasses bounds the coordinate-descent sweeps over the sites; the
+// descent stops earlier at the first pass that adopts nothing.
+const maxDescentPasses = 4
 
 // Input is the kernel to tune.
 type Input struct {
@@ -47,38 +66,78 @@ type Input struct {
 // Options configures the search.
 type Options struct {
 	// MaxMeasured caps simulated pre-push runs per machine (seeds plus
-	// refinement and knob flips); <= 0 selects DefaultMaxMeasured.
+	// refinement and knob flips); <= 0 selects DefaultMaxMeasured plus
+	// PerSiteExtraMeasured per site beyond the first.
 	MaxMeasured int
 	// Arrays names the observable arrays the oracle compares (besides all
 	// printed output); empty means {"ar"}.
 	Arrays []string
-	// KOnly restricts the search to the tile size, skipping the non-K knob
-	// stage — the historical behavior, kept for ablation comparisons.
+	// KOnly restricts the search to tile sizes (uniform and per-site),
+	// skipping the non-K knob flips — kept for ablation comparisons.
 	KOnly bool
 }
 
-// Candidate is one evaluated plan decision under one machine.
+// Candidate is one evaluated whole-plan decision vector under one machine.
+// Decisions is aligned with Choice.Sites (one decision per transformable
+// site, in program order); Uniform marks vectors whose sites all share one
+// decision.
 type Candidate struct {
-	Decision  plan.Decision `json:"decision"`
-	PrepushNs int64         `json:"prepush_ns"`
-	Speedup   float64       `json:"speedup"`
-	Identical bool          `json:"identical"`
-	Seeded    bool          `json:"seeded"` // proposed by the analytic model
+	Decisions []plan.Decision `json:"decisions"`
+	Uniform   bool            `json:"uniform"`
+	PrepushNs int64           `json:"prepush_ns"`
+	Speedup   float64         `json:"speedup"`
+	Identical bool            `json:"identical"`
+	Seeded    bool            `json:"seeded"` // proposed by the analytic model
+}
+
+// SiteChoice is the tuning outcome for one MPI_ALLTOALL site: the chosen
+// decision plus the analytic facts that seeded its search.
+type SiteChoice struct {
+	Site     string        `json:"site"`
+	Decision plan.Decision `json:"decision"`
+	// SeedKs are the tile sizes the machine's analytic model proposed for
+	// this site (before measurement).
+	SeedKs        []int64 `json:"seed_ks,omitempty"`
+	PartitionSize int64   `json:"partition_size,omitempty"`
+	TripCount     int64   `json:"trip_count,omitempty"`
 }
 
 // Choice is the tuning outcome for one (kernel, machine) pair.
 type Choice struct {
-	Machine      string        `json:"machine"`
-	Offload      bool          `json:"offload"`
-	Chosen       plan.Decision `json:"chosen"`
-	Speedup      float64       `json:"tuned_speedup"`
-	PrepushNs    int64         `json:"tuned_prepush_ns"`
-	OriginalNs   int64         `json:"original_ns"`
-	FixedK       int64         `json:"fixed_k"`
-	FixedSpeedup float64       `json:"fixed_speedup"`
-	Evaluations  int           `json:"evaluations"`   // measured pre-push runs
-	SearchSimNs  int64         `json:"search_sim_ns"` // simulated time spent searching
-	Candidates   []Candidate   `json:"candidates"`
+	Machine string `json:"machine"`
+	Offload bool   `json:"offload"`
+	// Chosen is the first site's decision — the whole plan for the
+	// single-site kernels that dominate the corpus; multi-site plans are in
+	// Plan/Sites.
+	Chosen plan.Decision `json:"chosen"`
+	// Plan is the full chosen plan, one decision per site, replayable with
+	// core.Apply (or compuniformer -apply-plan).
+	Plan *plan.Plan `json:"plan"`
+	// Sites carries the per-site decisions and analytic seeds, in program
+	// order.
+	Sites []SiteChoice `json:"sites"`
+	// Divergent marks a chosen plan whose sites do not all share one
+	// decision — the win a uniform tuner cannot express.
+	Divergent bool `json:"divergent"`
+	// UniformSpeedup is the best measured speedup among uniform candidates
+	// (every site sharing one decision) — the baseline the per-site descent
+	// must beat for Divergent to matter.
+	UniformSpeedup float64     `json:"best_uniform_speedup"`
+	Speedup        float64     `json:"tuned_speedup"`
+	PrepushNs      int64       `json:"tuned_prepush_ns"`
+	OriginalNs     int64       `json:"original_ns"`
+	FixedK         int64       `json:"fixed_k"`
+	FixedSpeedup   float64     `json:"fixed_speedup"`
+	Evaluations    int         `json:"evaluations"`   // measured pre-push runs
+	SearchSimNs    int64       `json:"search_sim_ns"` // simulated time spent searching
+	Candidates     []Candidate `json:"candidates"`
+}
+
+// siteState is one transformable site's search facts.
+type siteState struct {
+	key    string
+	geo    geom
+	ladder []int64
 }
 
 // Tune searches plan space for the kernel under every machine. The search
@@ -92,10 +151,6 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	if len(arrays) == 0 {
 		arrays = []string{"ar"}
 	}
-	maxM := opts.MaxMeasured
-	if maxM <= 0 {
-		maxM = DefaultMaxMeasured
-	}
 
 	prog := in.Program
 	if prog == nil {
@@ -108,20 +163,24 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	if in.Source == "" {
 		in.Source = prog.Source()
 	}
-	geo := geometry(prog)
-	if geo == nil {
+	sites := siteStates(prog)
+	if len(sites) == 0 {
 		return nil, fmt.Errorf("tune: transform does not fire on this kernel: %s", firstReason(prog))
 	}
-	// Candidate ladder: divisors of the partition size (the legality
-	// constraint of the subset-send and indirect schedules) unioned with
-	// divisors of the tiled-loop trip count (the natural rungs when the
-	// tiled loop is not the partitioned dimension). A rung the transform
+	maxM := opts.MaxMeasured
+	if maxM <= 0 {
+		maxM = DefaultMaxMeasured + PerSiteExtraMeasured*(len(sites)-1)
+	}
+	// Uniform ladder: the union of every site's rungs. A rung one site
 	// rejects at evaluation time is skipped without costing a measurement.
-	ladder := mergeLadders(divisors(geo.psz), divisors(geo.trip))
+	var uniformLadder []int64
+	for _, st := range sites {
+		uniformLadder = mergeLadders(uniformLadder, st.ladder)
+	}
 
 	var choices []Choice
 	for _, m := range in.Machines {
-		ch, err := tuneMachine(prog, in, m, geo, ladder, arrays, maxM, opts.KOnly)
+		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly)
 		if err != nil {
 			return nil, err
 		}
@@ -137,16 +196,26 @@ type geom struct {
 	perIterBytes int64 // bytes of one point-to-point message per tiled iteration
 }
 
-// geometry harvests the first transformable site's facts from the analysis.
-func geometry(prog *core.Program) *geom {
+// siteStates harvests every transformable site's facts from the analysis,
+// in program order. The candidate ladder per site: divisors of the
+// partition size (the legality constraint of the subset-send and indirect
+// schedules) unioned with divisors of the tiled-loop trip count (the
+// natural rungs when the tiled loop is not the partitioned dimension).
+func siteStates(prog *core.Program) []siteState {
+	var out []siteState
 	for i := range prog.Sites {
 		s := &prog.Sites[i]
 		if !s.Transformable {
 			continue
 		}
-		return &geom{psz: s.PartitionSize, trip: s.TripCount, perIterBytes: s.PerIterBytes}
+		g := geom{psz: s.PartitionSize, trip: s.TripCount, perIterBytes: s.PerIterBytes}
+		out = append(out, siteState{
+			key:    s.Key(),
+			geo:    g,
+			ladder: mergeLadders(divisors(g.psz), divisors(g.trip)),
+		})
 	}
-	return nil
+	return out
 }
 
 func firstReason(prog *core.Program) string {
@@ -163,28 +232,32 @@ type search struct {
 	prog    *core.Program
 	in      Input
 	machine plan.Machine
+	sites   []siteState
 	arrays  []string
 	maxM    int
 
 	orig   *interp.Result
 	origNs int64
 
-	measured map[string]*Candidate // by decision key; nil = rejected/failed
+	measured map[string]*Candidate // by whole-plan key; nil = rejected/failed
 	bySrc    map[string]*Candidate // by generated source: knob no-ops alias
-	order    []plan.Decision       // unique measured decisions, visit order
+	order    [][]plan.Decision     // unique measured decision vectors, visit order
 	runs     int
 }
 
-// tuneMachine runs the seeded, measured search for one machine.
-func tuneMachine(prog *core.Program, in Input, m plan.Machine, geo *geom,
-	ladder []int64, arrays []string, maxM int, kOnly bool) (Choice, error) {
+// tuneMachine runs the seeded, measured search for one machine: the uniform
+// stage first (all sites share one decision — the historical single-site
+// search, and the best-uniform baseline), then coordinate descent across
+// the sites.
+func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState,
+	uniformLadder []int64, arrays []string, maxM int, kOnly bool) (Choice, error) {
 
 	orig, err := simulate(in.Source, in.NP, m)
 	if err != nil {
 		return Choice{}, fmt.Errorf("tune: original run under %s: %w", m.Name, err)
 	}
 	s := &search{
-		prog: prog, in: in, machine: m, arrays: arrays, maxM: maxM,
+		prog: prog, in: in, machine: m, sites: sites, arrays: arrays, maxM: maxM,
 		orig: orig, origNs: int64(orig.Elapsed()),
 		measured: map[string]*Candidate{}, bySrc: map[string]*Candidate{},
 	}
@@ -197,20 +270,32 @@ func tuneMachine(prog *core.Program, in Input, m plan.Machine, geo *geom,
 	// The fixed-K default decision is always measured first so the tuned
 	// choice can never lose to the baseline, then the analytic seeds.
 	fixed := plan.Decision{K: in.FixedK}.Normalize()
-	if s.evaluate(fixed, true) == nil {
+	fds := uniformVecOf(fixed, len(sites))
+	if s.evaluate(fds, true) == nil {
 		// Fatal only when there is nothing to tune; a simulation failure at
 		// the fixed K still lets the seeds find a plan (Apply is memoized,
 		// so the re-check is free).
-		if _, rep, err := core.Apply(s.prog, plan.Uniform(fixed)); err != nil || rep.TransformedCount() == 0 {
-			return Choice{}, fmt.Errorf("tune: transform did not fire at fixed K=%d under %s", in.FixedK, m.Name)
+		if _, rep, err := core.Apply(s.prog, s.buildPlan(fds)); err != nil || rep.TransformedCount() < len(sites) {
+			return Choice{}, fmt.Errorf("tune: transform did not fire on all %d site(s) at fixed K=%d under %s",
+				len(sites), in.FixedK, m.Name)
 		}
 	}
-	for _, k := range seedKs(m, geo, in.FixedK, ladder) {
-		s.evaluate(plan.Decision{K: k}.Normalize(), true)
+	// Per-site analytic seeds, snapped onto each site's own ladder; the
+	// uniform stage proposes their union applied to every site at once.
+	siteSeeds := make([][]int64, len(sites))
+	seedSet := map[int64]bool{}
+	for i, st := range sites {
+		siteSeeds[i] = seedKs(m, &st.geo, in.FixedK, st.ladder)
+		for _, k := range siteSeeds[i] {
+			seedSet[k] = true
+		}
+	}
+	for _, k := range sortedKeys(seedSet) {
+		s.evaluate(withK(fds, -1, k), true)
 	}
 	// Refinement: hill-climb the divisor ladder from the best decision so
 	// far until no neighbor improves or the measurement budget runs out.
-	s.climbK(ladder)
+	s.climbK(-1, uniformLadder)
 	if !kOnly {
 		// Knob stage: each non-K knob flip gets its own K-climb, because a
 		// flip can be a no-op at the incumbent K (the interchange gate, for
@@ -219,52 +304,177 @@ func tuneMachine(prog *core.Program, in Input, m plan.Machine, geo *geom,
 		// climb walks through them for free until the flip starts mattering.
 		// A flipped plan displaces the incumbent only when strictly better;
 		// afterwards one more default climb refines K under the winner.
-		s.climbKnobs(ladder)
-		s.climbK(ladder)
+		s.climbKnobs(-1, uniformLadder)
+		s.climbK(-1, uniformLadder)
+	}
+
+	// Coordinate descent across sites: climb each site's K (and knobs) with
+	// the others held at the incumbent, iterating until a whole pass adopts
+	// nothing. Single-site kernels are already done — their per-site moves
+	// would all alias the uniform stage.
+	if len(sites) > 1 {
+		for pass := 0; pass < maxDescentPasses && s.runs < s.maxM; pass++ {
+			before := ""
+			if b := s.best(); b != nil {
+				before = s.vecKey(b.Decisions)
+			}
+			for si := range sites {
+				if pass == 0 {
+					if b := s.best(); b != nil {
+						for _, k := range siteSeeds[si] {
+							s.evaluate(withK(b.Decisions, si, k), true)
+						}
+					}
+				}
+				s.climbK(si, sites[si].ladder)
+				if !kOnly {
+					s.climbKnobs(si, sites[si].ladder)
+				}
+			}
+			after := ""
+			if b := s.best(); b != nil {
+				after = s.vecKey(b.Decisions)
+			}
+			if after == before {
+				break
+			}
+		}
 	}
 
 	winner := s.best()
 	if winner == nil {
 		return Choice{}, fmt.Errorf("tune: no valid plan found under %s (fixed K=%d)", m.Name, in.FixedK)
 	}
-	ch.Chosen = winner.Decision
+	ch.Chosen = winner.Decisions[0]
+	ch.Plan = s.buildPlan(winner.Decisions)
+	ch.Plan.Machine = m.Name
+	ch.Divergent = !winner.Uniform
 	ch.Speedup = winner.Speedup
 	ch.PrepushNs = winner.PrepushNs
-	if f := s.measured[planKey(fixed)]; f != nil {
+	for i, st := range sites {
+		ch.Sites = append(ch.Sites, SiteChoice{
+			Site: st.key, Decision: winner.Decisions[i], SeedKs: siteSeeds[i],
+			PartitionSize: st.geo.psz, TripCount: st.geo.trip,
+		})
+	}
+	if f := s.measured[s.vecKey(fds)]; f != nil {
 		ch.FixedSpeedup = f.Speedup
 	}
 	// Evaluations reports the budget actually consumed (a run whose
 	// simulation failed still spent a slot); SearchSimNs sums the
 	// successful runs' simulated makespans.
 	ch.Evaluations = s.runs
-	for _, d := range s.order {
-		c := s.measured[planKey(d)]
+	for _, ds := range s.order {
+		c := s.measured[s.vecKey(ds)]
 		if c == nil {
 			continue
 		}
 		ch.Candidates = append(ch.Candidates, *c)
 		ch.SearchSimNs += c.PrepushNs
+		if c.Identical && c.Uniform && c.Speedup > ch.UniformSpeedup {
+			ch.UniformSpeedup = c.Speedup
+		}
 	}
 	return ch, nil
 }
 
-// planKey canonicalizes a decision for memo keys.
-func planKey(d plan.Decision) string { return plan.Uniform(d).Key() }
+// buildPlan materializes a decision vector as a site-keyed plan (sites in
+// program order; the first site's decision doubles as the default).
+func (s *search) buildPlan(ds []plan.Decision) *plan.Plan {
+	p := &plan.Plan{Schema: plan.Schema, Default: ds[0]}
+	for i, st := range s.sites {
+		p.Set(st.key, ds[i])
+	}
+	return p
+}
 
-// evaluate runs the pre-push variant under the decision and applies the
-// oracle. A decision the transformation rejects yields no candidate and
-// costs nothing against the measurement budget; a decision whose generated
-// source is identical to an already-measured one aliases that measurement
-// for free (knob flips that change nothing — e.g. forcing interchange off
-// where it never fired — collapse onto the earlier candidate).
-func (s *search) evaluate(d plan.Decision, seeded bool) *Candidate {
-	d = d.Normalize()
-	key := planKey(d)
+// vecKey canonicalizes a decision vector for memo keys.
+func (s *search) vecKey(ds []plan.Decision) string { return s.buildPlan(ds).Key() }
+
+// normVec normalizes every decision of a vector.
+func normVec(ds []plan.Decision) []plan.Decision {
+	out := make([]plan.Decision, len(ds))
+	for i, d := range ds {
+		out[i] = d.Normalize()
+	}
+	return out
+}
+
+// uniformVecOf repeats one decision across n sites.
+func uniformVecOf(d plan.Decision, n int) []plan.Decision {
+	out := make([]plan.Decision, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// isUniform reports whether every site shares one decision.
+func isUniform(ds []plan.Decision) bool {
+	for i := 1; i < len(ds); i++ {
+		if ds[i] != ds[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// withK returns a copy of the vector with site si's tile size set to k;
+// si < 0 sets every site (the uniform axis).
+func withK(ds []plan.Decision, si int, k int64) []plan.Decision {
+	out := append([]plan.Decision(nil), ds...)
+	if si < 0 {
+		for i := range out {
+			out[i].K = k
+		}
+		return out
+	}
+	out[si].K = k
+	return out
+}
+
+// withFlip returns a copy of the vector with the knob flip applied to site
+// si (si < 0 flips every site).
+func withFlip(ds []plan.Decision, si int, flip func(*plan.Decision)) []plan.Decision {
+	out := append([]plan.Decision(nil), ds...)
+	if si < 0 {
+		for i := range out {
+			flip(&out[i])
+			out[i] = out[i].Normalize()
+		}
+		return out
+	}
+	flip(&out[si])
+	out[si] = out[si].Normalize()
+	return out
+}
+
+// axisOf maps a site axis onto the vector index carrying its K (< 0, the
+// uniform axis, reads site 0 — all sites agree there by construction).
+func axisOf(si int) int {
+	if si < 0 {
+		return 0
+	}
+	return si
+}
+
+// evaluate runs the pre-push variant under the decision vector and applies
+// the oracle. A vector the transformation rejects on any site yields no
+// candidate and costs nothing against the measurement budget; a vector
+// whose generated source is identical to an already-measured one aliases
+// that measurement for free (knob flips that change nothing — e.g. forcing
+// interchange off where it never fired — collapse onto the earlier
+// candidate).
+func (s *search) evaluate(ds []plan.Decision, seeded bool) *Candidate {
+	ds = normVec(ds)
+	key := s.vecKey(ds)
 	if c, ok := s.measured[key]; ok {
 		return c
 	}
-	src, rep, err := core.Apply(s.prog, plan.Uniform(d))
-	if err != nil || rep.TransformedCount() == 0 {
+	src, rep, err := core.Apply(s.prog, s.buildPlan(ds))
+	if err != nil || rep.TransformedCount() < len(s.sites) {
+		// A plan leaving any site untransformed is not a candidate: the
+		// comparison must hold the set of rewritten sites fixed.
 		s.measured[key] = nil
 		return nil
 	}
@@ -281,7 +491,7 @@ func (s *search) evaluate(d plan.Decision, seeded bool) *Candidate {
 		s.measured[key] = nil
 		return nil
 	}
-	c := &Candidate{Decision: d, PrepushNs: int64(res.Elapsed()), Seeded: seeded}
+	c := &Candidate{Decisions: ds, Uniform: isUniform(ds), PrepushNs: int64(res.Elapsed()), Seeded: seeded}
 	if c.PrepushNs > 0 {
 		c.Speedup = float64(s.origNs) / float64(c.PrepushNs)
 	}
@@ -289,24 +499,26 @@ func (s *search) evaluate(d plan.Decision, seeded bool) *Candidate {
 	c.Identical = same
 	s.measured[key] = c
 	s.bySrc[src] = c
-	s.order = append(s.order, d)
+	s.order = append(s.order, ds)
 	return c
 }
 
-// climbK hill-climbs the divisor ladder around the best decision, varying
-// only K (the other knobs ride along from the incumbent).
-func (s *search) climbK(ladder []int64) {
+// climbK hill-climbs the ladder around the best decision vector, varying
+// only axis si's K (the other sites and knobs ride along from the
+// incumbent).
+func (s *search) climbK(si int, ladder []int64) {
 	for {
 		best := s.best()
 		if best == nil {
 			break
 		}
+		curK := best.Decisions[axisOf(si)].K
 		// Neighbor rungs: for an on-ladder best, the rungs either side; for
 		// an off-ladder best (a fixed K dividing neither the partition size
 		// nor the trip count), the rungs bracketing it.
-		i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= best.Decision.K })
+		i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= curK })
 		neighbors := []int{i - 1, i}
-		if i < len(ladder) && ladder[i] == best.Decision.K {
+		if i < len(ladder) && ladder[i] == curK {
 			neighbors = []int{i - 1, i + 1}
 		}
 		improved := false
@@ -314,12 +526,11 @@ func (s *search) climbK(ladder []int64) {
 			if j < 0 || j >= len(ladder) {
 				continue
 			}
-			d := best.Decision
-			d.K = ladder[j]
-			if _, seen := s.measured[planKey(d)]; seen {
+			ds := withK(best.Decisions, si, ladder[j])
+			if _, seen := s.measured[s.vecKey(ds)]; seen {
 				continue
 			}
-			if c := s.evaluate(d, false); c != nil && c.Identical && c.Speedup > best.Speedup {
+			if c := s.evaluate(ds, false); c != nil && c.Identical && c.Speedup > best.Speedup {
 				improved = true
 			}
 		}
@@ -329,13 +540,14 @@ func (s *search) climbK(ladder []int64) {
 	}
 }
 
-// climbKnobs explores each non-K knob flip of the incumbent in a fixed
-// order. Every flip is evaluated at the incumbent K and then hill-climbed
-// along the ladder within its own variant: a flip whose code is identical
-// at the incumbent K (an aliased no-op) is walked outward for free until
-// the rungs where it changes the schedule. The interchange flips lead —
-// the fixed granularity gate is the most platform-sensitive heuristic.
-func (s *search) climbKnobs(ladder []int64) {
+// climbKnobs explores each non-K knob flip of the incumbent on axis si in a
+// fixed order. Every flip is evaluated at the incumbent K and then
+// hill-climbed along the ladder within its own variant: a flip whose code
+// is identical at the incumbent K (an aliased no-op) is walked outward for
+// free until the rungs where it changes the schedule. The interchange
+// flips lead — the fixed granularity gate is the most platform-sensitive
+// heuristic.
+func (s *search) climbKnobs(si int, ladder []int64) {
 	flips := []func(*plan.Decision){
 		func(d *plan.Decision) { d.Interchange = plan.InterchangeOff },
 		func(d *plan.Decision) { d.Interchange = plan.InterchangeOn },
@@ -347,35 +559,34 @@ func (s *search) climbKnobs(ladder []int64) {
 		if best == nil || s.runs >= s.maxM {
 			break
 		}
-		d := best.Decision
-		flip(&d)
-		d = d.Normalize()
-		if planKey(d) == planKey(best.Decision) {
+		ds := withFlip(best.Decisions, si, flip)
+		if s.vecKey(ds) == s.vecKey(best.Decisions) {
 			continue
 		}
-		s.climbVariant(d, ladder)
+		s.climbVariant(ds, si, ladder)
 	}
 }
 
-// climbVariant walks K outward along the ladder in both directions from
-// the variant's starting rung, with the non-K knobs held fixed. A rung
-// where the flip is a codegen no-op aliases an earlier candidate (equal
-// speedup, zero cost against the budget) and the walk continues through
-// it — that is how the climb crosses the region where, say, the
-// interchange gate's own verdict coincides with the forced knob — as does
-// a rung the transform rejects (also free). A direction stops at the
-// first genuinely measured rung that fails to improve the variant's local
-// best, or when the budget runs out. The global best picks up any
+// climbVariant walks axis si's K outward along the ladder in both
+// directions from the variant's starting rung, with everything else held
+// fixed. A rung where the flip is a codegen no-op aliases an earlier
+// candidate (equal speedup, zero cost against the budget) and the walk
+// continues through it — that is how the climb crosses the region where,
+// say, the interchange gate's own verdict coincides with the forced knob —
+// as does a rung the transform rejects (also free). A direction stops at
+// the first genuinely measured rung that fails to improve the variant's
+// local best, or when the budget runs out. The global best picks up any
 // strictly better candidate through the shared measurement pool.
-func (s *search) climbVariant(d plan.Decision, ladder []int64) {
-	cur := s.evaluate(d, false)
+func (s *search) climbVariant(ds []plan.Decision, si int, ladder []int64) {
+	cur := s.evaluate(ds, false)
 	if cur == nil || !cur.Identical {
 		return
 	}
 	curSp := cur.Speedup
-	i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= d.K })
+	k := ds[axisOf(si)].K
+	i := sort.Search(len(ladder), func(j int) bool { return ladder[j] >= k })
 	starts := [2]int{i - 1, i + 1}
-	if i >= len(ladder) || ladder[i] != d.K {
+	if i >= len(ladder) || ladder[i] != k {
 		starts = [2]int{i - 1, i} // off-ladder start: bracket it
 	}
 	for dir, j := range starts {
@@ -387,8 +598,7 @@ func (s *search) climbVariant(d plan.Decision, ladder []int64) {
 			if s.runs >= s.maxM {
 				return
 			}
-			nd := d
-			nd.K = ladder[j]
+			nd := withK(ds, si, ladder[j])
 			c := s.evaluate(nd, false)
 			if c == nil {
 				continue // rejected or failed rung: free, keep walking
@@ -396,7 +606,7 @@ func (s *search) climbVariant(d plan.Decision, ladder []int64) {
 			if !c.Identical {
 				break
 			}
-			aliased := planKey(c.Decision) != planKey(nd)
+			aliased := s.vecKey(c.Decisions) != s.vecKey(nd)
 			if c.Speedup > curSp {
 				curSp = c.Speedup
 			} else if !aliased {
@@ -422,12 +632,13 @@ func flipOrder(o plan.SendOrder) plan.SendOrder {
 
 // best returns the oracle-identical candidate with the highest speedup.
 // Ties prefer the candidate measured earliest — the fixed-K default-knob
-// decision first, then seeds, then refinements — so a knob flip or retile
-// displaces the incumbent only when strictly better.
+// decision first, then seeds, then refinements — so a knob flip, retile,
+// or per-site divergence displaces the incumbent only when strictly
+// better.
 func (s *search) best() *Candidate {
 	var best *Candidate
-	for _, d := range s.order {
-		c := s.measured[planKey(d)]
+	for _, ds := range s.order {
+		c := s.measured[s.vecKey(ds)]
 		if c == nil || !c.Identical {
 			continue
 		}
@@ -447,6 +658,16 @@ func simulate(src string, np int, m plan.Machine) (*interp.Result, error) {
 	}
 	prog.Costs = m.Costs
 	return prog.Run(np, m.Profile)
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // seedKs proposes candidate tile sizes from the machine's analytic cost
@@ -496,12 +717,7 @@ func seedKs(m plan.Machine, geo *geom, fixedK int64, ladder []int64) []int64 {
 			snap(int64(setup / perIterCompute))
 		}
 	}
-	var out []int64
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedKeys(set)
 }
 
 // divisors returns all divisors of n in ascending order (nil when n < 1).
@@ -529,12 +745,7 @@ func mergeLadders(a, b []int64) []int64 {
 	for _, k := range b {
 		set[k] = true
 	}
-	out := make([]int64, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedKeys(set)
 }
 
 // snapToLadder returns the nearest rungs at or below and at or above k

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/plan"
 	"repro/internal/workload"
@@ -86,17 +87,21 @@ func TestTunedNeverLosesToFixed(t *testing.T) {
 			if c.SearchSimNs <= 0 {
 				t.Errorf("%s/%s: no recorded search cost", sc.Name, c.Machine)
 			}
+			var chosenVec []plan.Decision
+			for _, sc := range c.Sites {
+				chosenVec = append(chosenVec, sc.Decision)
+			}
 			found := false
 			for _, cand := range c.Candidates {
-				if reflect.DeepEqual(cand.Decision, c.Chosen) {
+				if reflect.DeepEqual(cand.Decisions, chosenVec) {
 					found = true
 					if !cand.Identical {
-						t.Errorf("%s/%s: chosen plan %+v failed the oracle", sc.Name, c.Machine, cand.Decision)
+						t.Errorf("%s/%s: chosen plan %+v failed the oracle", sc.Name, c.Machine, cand.Decisions)
 					}
 				}
 			}
 			if !found {
-				t.Errorf("%s/%s: chosen plan %+v not among candidates", sc.Name, c.Machine, c.Chosen)
+				t.Errorf("%s/%s: chosen plan %+v not among candidates", sc.Name, c.Machine, chosenVec)
 			}
 		}
 	}
@@ -224,5 +229,99 @@ func TestSnapToLadder(t *testing.T) {
 		if lo != c.lo || hi != c.hi {
 			t.Errorf("snap(%d) = (%d, %d), want (%d, %d)", c.k, lo, hi, c.lo, c.hi)
 		}
+	}
+}
+
+// TestPerSiteDivergenceBeatsUniform: on the multi-site family the
+// coordinate-descent stage must find a plan giving each ALLTOALL site its
+// own decision that strictly beats the best uniform plan the first stage
+// found — the end-to-end payoff of site-keyed plans.
+func TestPerSiteDivergenceBeatsUniform(t *testing.T) {
+	var sc workload.Scenario
+	for _, cand := range workload.GenerateScenarios(workload.GenOptions{}) {
+		if cand.Family == "multi" {
+			sc = cand
+			break
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("no multi scenario in the corpus")
+	}
+	choices, err := Tune(
+		Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)},
+		Options{Arrays: sc.Arrays},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergentWins := 0
+	for _, c := range choices {
+		if len(c.Sites) != sc.Sites {
+			t.Fatalf("%s: %d site choices, want %d", c.Machine, len(c.Sites), sc.Sites)
+		}
+		for _, s := range c.Sites {
+			if len(s.SeedKs) == 0 {
+				t.Errorf("%s: site %s has no analytic seeds", c.Machine, s.Site)
+			}
+		}
+		if c.UniformSpeedup <= 0 {
+			t.Errorf("%s: no uniform baseline recorded", c.Machine)
+		}
+		if c.Speedup+1e-12 < c.UniformSpeedup {
+			t.Errorf("%s: tuned %.4f below the best uniform plan %.4f — the descent lost ground",
+				c.Machine, c.Speedup, c.UniformSpeedup)
+		}
+		if c.Divergent {
+			same := true
+			for _, s := range c.Sites[1:] {
+				if s.Decision != c.Sites[0].Decision {
+					same = false
+				}
+			}
+			if same {
+				t.Errorf("%s: flagged divergent but all sites share %+v", c.Machine, c.Sites[0].Decision)
+			}
+			if c.Speedup > c.UniformSpeedup {
+				divergentWins++
+			}
+		}
+		// The chosen plan must replay, not just describe: Apply with it on a
+		// fresh analysis and re-simulate — the makespan must reproduce the
+		// tuned measurement exactly (virtual time is deterministic).
+		if err := c.Plan.Validate(); err != nil {
+			t.Errorf("%s: chosen plan invalid: %v", c.Machine, err)
+			continue
+		}
+		prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, rep, err := core.Apply(prog, c.Plan)
+		if err != nil {
+			t.Fatalf("%s: chosen plan does not replay: %v", c.Machine, err)
+		}
+		if rep.TransformedCount() != sc.Sites {
+			t.Fatalf("%s: replayed plan transformed %d sites, want %d", c.Machine, rep.TransformedCount(), sc.Sites)
+		}
+		var m *plan.Machine
+		for _, cand := range machines(sc) {
+			if cand.Name == c.Machine {
+				cand := cand
+				m = &cand
+			}
+		}
+		if m == nil {
+			t.Fatalf("machine %s not found", c.Machine)
+		}
+		res, err := simulate(src, sc.NP, *m)
+		if err != nil {
+			t.Fatalf("%s: replayed plan does not run: %v", c.Machine, err)
+		}
+		if got := int64(res.Elapsed()); got != c.PrepushNs {
+			t.Errorf("%s: replayed plan took %d ns, tuned measurement was %d ns", c.Machine, got, c.PrepushNs)
+		}
+	}
+	if divergentWins == 0 {
+		t.Error("no machine's divergent plan strictly beat the best uniform plan on the first multi scenario")
 	}
 }

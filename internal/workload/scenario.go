@@ -31,6 +31,15 @@ type Scenario struct {
 
 	// Costs optionally overrides the interpreter cost model (nil = default).
 	Costs *interp.CostModel
+
+	// Arrays names the observable arrays the correctness oracle compares for
+	// this scenario (besides all printed output); nil means the sweep default
+	// {"ar"}. Multi-site kernels name one receive array per exchange.
+	Arrays []string
+
+	// Sites is the number of MPI_ALLTOALL sites the kernel contains (0 is
+	// read as 1, the single-site default of the historical families).
+	Sites int
 }
 
 // String identifies the scenario.
@@ -105,6 +114,7 @@ func GenerateScenarios(opts GenOptions) []Scenario {
 		sortScenarios(opts.Seed),
 		raggedScenarios(opts.Seed),
 		xchgScenarios(opts.Seed),
+		multiScenarios(opts.Seed),
 	)
 	var out []Scenario
 	for i := 0; ; i++ {
@@ -387,6 +397,48 @@ func xchgScenarios(seed int64) []Scenario {
 			Name:   fmt.Sprintf("xchg/m%d/ny%d/nz%d/np%d/w%d/K%d", c.m, c.ny, c.nz, c.np, c.weight, c.k),
 			Family: "xchg", Source: src, NP: c.np, K: c.k, Seed: seed,
 			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
+		})
+	}
+	return out
+}
+
+// multiScenarios exercises site-keyed plan divergence end-to-end: each
+// kernel contains two or three ALLTOALL sites in one unit — a fine-grained
+// direct scatter feeding a bulky FFT-transpose-like phase (and optionally a
+// second scatter) — with message sizes mismatched so the optimal tile size
+// genuinely differs per site. The uniform fixed K is legal at every site;
+// the per-site tuner should find divergent plans that beat any uniform one.
+func multiScenarios(seed int64) []Scenario {
+	type cfg struct {
+		nx, m, ny, sz, nx3, np int
+		k                      int64
+		weight                 int
+	}
+	cfgs := []cfg{
+		{nx: 1024, m: 128, ny: 16, sz: 8, np: 4, k: 8},            // fine scatter + rendezvous transpose
+		{nx: 4096, m: 64, ny: 32, sz: 8, np: 4, k: 16, weight: 1}, // both eager, still mismatched
+		{nx: 2048, m: 32, ny: 16, sz: 16, np: 8, k: 8},            // wider machine
+		{nx: 1024, m: 64, ny: 16, sz: 8, nx3: 2048, np: 4, k: 8},  // three sites
+	}
+	var out []Scenario
+	for i, c := range cfgs {
+		p := MultiParams{
+			NX: c.nx, M: c.m, NY: c.ny, SZ: c.sz, NX3: c.nx3, NP: c.np, Weight: c.weight,
+			Salt: salt(seed, uint64(i)+900, 1<<16),
+		}
+		src := MultiSource(p)
+		arrays := []string{"ar", "br"}
+		if p.Sites() == 3 {
+			arrays = append(arrays, "cr")
+		}
+		// The bulky transpose dominates the exchanged volume; its per-pair
+		// payload classifies the scenario's regime.
+		pair := int64(c.m * c.ny * c.sz / c.np * 4)
+		out = append(out, Scenario{
+			Name:   fmt.Sprintf("multi/s%d/nx%d/m%d/ny%d/sz%d/np%d/K%d", p.Sites(), c.nx, c.m, c.ny, c.sz, c.np, c.k),
+			Family: "multi", Source: src, NP: c.np, K: c.k, Seed: seed,
+			PairBytes: pair, Regime: regimeFor(pair), Costs: heavyCosts(),
+			Arrays: arrays, Sites: p.Sites(),
 		})
 	}
 	return out

@@ -10,20 +10,25 @@ import (
 )
 
 // TestEveryCorpusScenarioTransforms: each generated kernel must parse and
-// the Compuniformer must fire on exactly one site — a scenario whose
-// transformation silently no-ops would make the differential sweep
-// vacuous. (Execution itself is covered by internal/harness.)
+// the Compuniformer must fire on every site the scenario declares — a
+// scenario whose transformation silently no-ops (or drops one of its
+// exchanges) would make the differential sweep vacuous. (Execution itself
+// is covered by internal/harness.)
 func TestEveryCorpusScenarioTransforms(t *testing.T) {
 	for _, sc := range workload.GenerateScenarios(workload.GenOptions{}) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			t.Parallel()
+			want := sc.Sites
+			if want == 0 {
+				want = 1
+			}
 			out, rep, err := core.Transform(sc.Source, core.Options{K: sc.K})
 			if err != nil {
 				t.Fatalf("transform: %v", err)
 			}
-			if rep.TransformedCount() != 1 {
-				t.Fatalf("transformed %d sites, want 1: %s", rep.TransformedCount(), rep.FirstRejection())
+			if rep.TransformedCount() != want {
+				t.Fatalf("transformed %d sites, want %d: %s", rep.TransformedCount(), want, rep.FirstRejection())
 			}
 			if strings.Contains(out, "call mpi_alltoall") {
 				t.Error("original alltoall survived the transformation")

@@ -219,6 +219,103 @@ end program xchg
 `, p.M, p.NY, p.NZ, p.NP, rhs)
 }
 
+// MultiParams sizes the multi-site kernel: two or three ALLTOALL sites in
+// one program unit, each with its own finalizing loop and exchange arrays.
+// Phase 1 is a direct 1-D scatter (fine-grained messages, favoring coarse
+// tiles); phase 2 consumes phase 1's received data in an FFT-transpose-like
+// inner-node-loop nest (bulky messages, favoring finer tiles); the optional
+// phase 3 is a second direct scatter fed by phase 2. The deliberately
+// mismatched message sizes make the optimal tile size genuinely differ per
+// site, so a per-site plan can beat any uniform one.
+type MultiParams struct {
+	NX     int // phase-1 direct size; divisible by NP
+	M      int // phase-2 contiguous leading dimension
+	NY     int // phase-2 tiled dimension
+	SZ     int // phase-2 partitioned dimension; divisible by NP
+	NX3    int // phase-3 direct size (0 = two sites only); divisible by NP
+	NP     int
+	Weight int // extra arithmetic per element (compute intensity)
+	Salt   int64
+}
+
+// Sites returns the number of ALLTOALL sites the rendered kernel contains.
+func (p MultiParams) Sites() int {
+	if p.NX3 > 0 {
+		return 3
+	}
+	return 2
+}
+
+// MultiSource renders the multi-site kernel.
+func MultiSource(p MultiParams) string {
+	s := absSalt(p.Salt)
+	rhs1 := fmt.Sprintf("ix*%d + me*%d", 3+s%11, 7+(s/11)%13)
+	rhs2 := fmt.Sprintf("me + im*iy + inode*%d", 3+(s/143)%17)
+	for w := 0; w < p.Weight; w++ {
+		rhs1 = fmt.Sprintf("(%s) + mod(ix*%d + me, 13) - mod(ix + %d, 7)", rhs1, w+2, w+3)
+		rhs2 = fmt.Sprintf("(%s) + mod(im*%d + iy + inode, 17)", rhs2, w+2)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+program multi
+  implicit none
+  include 'mpif.h'
+  integer, parameter :: nx = %d
+  integer, parameter :: m = %d
+  integer, parameter :: ny = %d
+  integer, parameter :: sz = %d
+  integer, parameter :: np = %d
+`, p.NX, p.M, p.NY, p.SZ, p.NP)
+	if p.NX3 > 0 {
+		fmt.Fprintf(&sb, "  integer, parameter :: nc = %d\n", p.NX3)
+	}
+	sb.WriteString(`  integer as(1:nx)
+  integer ar(1:nx)
+  integer bs(1:m, 1:ny, 1:sz)
+  integer br(1:m, 1:ny, 1:sz)
+`)
+	if p.NX3 > 0 {
+		sb.WriteString("  integer cs(1:nc)\n  integer cr(1:nc)\n")
+	}
+	fmt.Fprintf(&sb, `  integer ix, iy, im, inode, ierr, me, checksum
+
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do ix = 1, nx
+    as(ix) = %s
+  enddo
+  call mpi_alltoall(as, nx/np, mpi_integer, ar, nx/np, mpi_integer, mpi_comm_world, ierr)
+  checksum = ar(1) + ar(nx/2) + ar(nx)
+  do iy = 1, ny
+    do inode = 1, sz
+      do im = 1, m
+        bs(im, iy, inode) = ar(mod(im*iy + inode, nx) + 1) + %s
+      enddo
+    enddo
+  enddo
+  call mpi_alltoall(bs, m*ny*sz/np, mpi_integer, br, m*ny*sz/np, mpi_integer, mpi_comm_world, ierr)
+  do inode = 1, sz
+    do im = 1, m
+      checksum = checksum + br(im, 1, inode)*im - br(im, ny/2, inode)
+    enddo
+  enddo
+`, rhs1, rhs2)
+	if p.NX3 > 0 {
+		rhs3 := fmt.Sprintf("br(mod(ix - 1, m) + 1, mod(ix - 1, ny) + 1, mod(ix - 1, sz) + 1) + ix*%d", 5+(s/2431)%7)
+		fmt.Fprintf(&sb, `  do ix = 1, nc
+    cs(ix) = %s
+  enddo
+  call mpi_alltoall(cs, nc/np, mpi_integer, cr, nc/np, mpi_integer, mpi_comm_world, ierr)
+  checksum = checksum + cr(1) + cr(nc)
+`, rhs3)
+	}
+	sb.WriteString(`  print *, 'checksum', checksum
+  call mpi_finalize(ierr)
+end program multi
+`)
+	return sb.String()
+}
+
 // IndirectParams sizes the Fig. 3(a)-shaped kernel (the paper's §4 test
 // program pattern: indirect compute-copy through a temporary).
 type IndirectParams struct {
