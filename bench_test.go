@@ -17,9 +17,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/interp"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -142,20 +144,60 @@ func BenchmarkFigure4_CommGen(b *testing.B) {
 }
 
 // BenchmarkHarnessSweep runs the differential evaluation harness on a
-// family-diverse corpus prefix and reports the aggregate offload-profile
-// overlap gain (gm-geomean, the regression gate of cmd/evalrunner) as a
-// custom metric alongside the sweep's wall cost.
+// family-diverse corpus prefix under both execution engines and reports
+// the aggregate offload-profile overlap gain (gm-geomean, the regression
+// gate of cmd/evalrunner) as a custom metric alongside the sweep's wall
+// cost — the walk/compile ratio here is the speedup the compiled engine
+// buys the measurement loop.
 func BenchmarkHarnessSweep(b *testing.B) {
 	corpus := workload.GenerateScenarios(workload.GenOptions{Limit: 6})
+	for _, engine := range []exec.Engine{exec.EngineWalk, exec.EngineCompile} {
+		b.Run(string(engine), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := harness.Run(harness.Config{Scenarios: corpus, Parallelism: 4, Engine: engine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Summary.Correct != rep.Summary.Scenarios {
+					b.Fatalf("correctness oracle failed:\n%s", rep.Table())
+				}
+				b.ReportMetric(rep.Summary.GeomeanSpeedup["mpich-gm-2005"], "gm-geomean")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRun compares one simulated run per engine on a mid-size
+// corpus kernel: the walk engine pays parse + tree-walk every time, the
+// compiled engine replays a cached closure program.
+func BenchmarkEngineRun(b *testing.B) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 4})[3]
+	m := plan.MPICHGM2005()
+	b.Run("walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.EngineWalk.Run(sc.Source, sc.NP, m.Costs, m.Profile); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.EngineCompile.Run(sc.Source, sc.NP, m.Costs, m.Profile); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompile measures the compile step itself (parse + closure
+// lowering) — the cost the variant cache amortizes to one per variant.
+func BenchmarkCompile(b *testing.B) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 4})[3]
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := harness.Run(harness.Config{Scenarios: corpus, Parallelism: 4})
-		if err != nil {
+		if _, err := exec.CompileSource(sc.Source); err != nil {
 			b.Fatal(err)
 		}
-		if rep.Summary.Correct != rep.Summary.Scenarios {
-			b.Fatalf("correctness oracle failed:\n%s", rep.Table())
-		}
-		b.ReportMetric(rep.Summary.GeomeanSpeedup["mpich-gm-2005"], "gm-geomean")
 	}
 }
 

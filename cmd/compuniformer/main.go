@@ -8,6 +8,7 @@
 // Usage:
 //
 //	compuniformer [-k N] [-np N] [-machine name] [-report] [-verify]
+//	              [-engine compile|walk]
 //	              [-wait deferred|per-tile] [-send-order staggered|sequential]
 //	              [-interchange auto|on|off] [-interchange-min-bytes N]
 //	              [-plan out.json] [-apply-plan in.json]
@@ -22,7 +23,8 @@
 // original and the transformed program are executed on the simulated
 // cluster under the selected machine models and their observable results
 // compared (the paper's §4 correctness protocol); a mismatch is a fatal
-// error.
+// error. -engine picks the execution engine for those runs: the compiled
+// closure engine (default) or the tree-walking oracle.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/plan"
 )
@@ -44,6 +47,7 @@ func main() {
 	machineName := flag.String("machine", "mpich-gm-2005", "machine model the plan targets (see internal/plan)")
 	report := flag.Bool("report", false, "print only the analysis report, not the transformed source")
 	verify := flag.Bool("verify", false, "run original and transformed on the simulator and compare results")
+	engineName := flag.String("engine", "", "execution engine for -verify: compile (default) or walk (tree-walking oracle)")
 	wait := flag.String("wait", "", "wait schedule: deferred (default) or per-tile (the paper's §3.6 step 2)")
 	perTileWait := flag.Bool("per-tile-wait", false, "deprecated alias for -wait per-tile")
 	sendOrder := flag.String("send-order", "", "subset-send order: staggered (default) or sequential (paper's owner order)")
@@ -60,6 +64,10 @@ func main() {
 	}
 
 	machine, err := plan.ByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := exec.Resolve(*engineName)
 	if err != nil {
 		fatal(err)
 	}
@@ -150,7 +158,7 @@ func main() {
 		if npv == 0 {
 			npv = pl.NP
 		}
-		if err := verifyEquivalence(src, out, int(npv), machine); err != nil {
+		if err := verifyEquivalence(src, out, int(npv), machine, engine); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "verify: original and transformed produce identical results on all machines")
@@ -166,7 +174,7 @@ func main() {
 // verifyEquivalence runs both versions on the simulated cluster under the
 // paper pair plus the selected machine and compares printed output and the
 // receive arrays.
-func verifyEquivalence(src, transformed string, np int, selected plan.Machine) error {
+func verifyEquivalence(src, transformed string, np int, selected plan.Machine, engine exec.Engine) error {
 	if np == 0 {
 		// Use the program's np parameter via a probe run of the analysis;
 		// simplest robust default: 4.
@@ -183,21 +191,11 @@ func verifyEquivalence(src, transformed string, np int, selected plan.Machine) e
 		machines = append(machines, selected)
 	}
 	for _, m := range machines {
-		po, err := interp.Load(src)
-		if err != nil {
-			return fmt.Errorf("verify: load original: %w", err)
-		}
-		po.Costs = m.Costs
-		ro, err := po.Run(np, m.Profile)
+		ro, err := engine.Run(src, np, m.Costs, m.Profile)
 		if err != nil {
 			return fmt.Errorf("verify: run original (%s): %w", m, err)
 		}
-		pt, err := interp.Load(transformed)
-		if err != nil {
-			return fmt.Errorf("verify: load transformed: %w", err)
-		}
-		pt.Costs = m.Costs
-		rt, err := pt.Run(np, m.Profile)
+		rt, err := engine.Run(transformed, np, m.Costs, m.Profile)
 		if err != nil {
 			return fmt.Errorf("verify: run transformed (%s): %w", m, err)
 		}

@@ -15,11 +15,18 @@
 // Usage:
 //
 //	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
-//	           [-machines a,b] [-parallel N] [-min 20] [-q]
-//	           [-tune] [-tunemax N] [-tune-konly]
+//	           [-machines a,b] [-engine compile|walk] [-parallel N]
+//	           [-min 20] [-q] [-tune] [-tunemax N] [-tune-konly]
 //	           [-check-baseline BENCH_harness.json] [-baseline-tol 0.01]
 //	           [-summary-md path]
 //	evalrunner -merge -out merged.json shard0.json shard1.json ...
+//
+// -engine selects the execution engine: "compile" (default) lowers every
+// (program, plan) variant once into a closure program, shared through the
+// process-wide variant cache — the engine the sweep scheduler is built
+// for; "walk" re-parses and tree-walks the AST per run, retained as the
+// bit-identical differential oracle. The report records the engine and the
+// cache economics (variants_compiled, cache_hits, sweep_wall_ns).
 //
 // -shard I/N keeps only the scenarios whose corpus index ≡ I (mod N), so a
 // large tuned sweep can split across processes; each shard writes a normal
@@ -40,8 +47,13 @@
 // Exit status is nonzero when any scenario fails the correctness oracle,
 // any scenario errors, any measurement reports a non-positive speedup, the
 // baseline check regresses, or (on unsharded or merged runs) an offload
-// machine — identified by its Offload flag, not by name — shows no
-// aggregate overlap gain.
+// machine — identified by its Offload flag, not by name — fails its
+// overlap gate. The gate is blocked-share-aware: a machine whose original
+// runs spend ≥ 1% of their makespan blocked must show aggregate overlap
+// gain (geomean > 1); an already-overlapped machine (hpc-rdma-2019 class,
+// blocked share ~0) is instead held to a no-harm floor at the fixed K
+// (geomean > 0.90) and, on full-corpus tuned sweeps, to a tuned recovery
+// floor (tuned geomean > 0.97).
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/plan"
 	"repro/internal/workload"
@@ -60,7 +73,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "corpus seed (0 = canonical corpus)")
 	limit := flag.Int("limit", 0, "truncate the corpus to its first N scenarios (0 = all)")
 	shard := flag.String("shard", "", "run only shard I/N of the corpus, e.g. 0/2 (\"\" = all)")
-	machineList := flag.String("machines", "", "comma-separated machine models (default: mpich-tcp-2005,mpich-gm-2005)")
+	machineList := flag.String("machines", "", "comma-separated machine models (default: mpich-tcp-2005,mpich-gm-2005,hpc-rdma-2019)")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS)")
 	min := flag.Int("min", 20, "fail unless the corpus (before sharding) has at least this many scenarios")
 	quiet := flag.Bool("q", false, "suppress the per-scenario table")
@@ -68,10 +81,20 @@ func main() {
 	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
 	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
+	engineName := flag.String("engine", "", "execution engine: compile (default; cached closure programs) or walk (tree-walking oracle)")
 	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
 	baselineTol := flag.Float64("baseline-tol", 0.01, "relative tolerance for -check-baseline (0.01 = 1%)")
 	summaryMD := flag.String("summary-md", "", "append the per-profile geomean table as markdown to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
+
+	engine, err := validateFlags(cliFlags{
+		Merge: *merge, Shard: *shard, Tune: *tuneFlag, TuneKOnly: *konly,
+		TuneMax: *tuneMax, Engine: *engineName,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
 
 	// The baseline must be read before any artifact is written: with the
 	// default -out the sweep would otherwise overwrite the committed
@@ -123,6 +146,7 @@ func main() {
 	rep, err := harness.Run(harness.Config{
 		Scenarios: scenarios, Machines: machines, Parallelism: *parallel,
 		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax, TuneKOnly: *konly,
+		Engine: engine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -158,6 +182,38 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// cliFlags is the subset of flags whose combinations can be inconsistent.
+type cliFlags struct {
+	Merge     bool
+	Shard     string
+	Tune      bool
+	TuneKOnly bool
+	TuneMax   int
+	Engine    string
+}
+
+// validateFlags rejects mutually-inconsistent flag combinations before any
+// work (or artifact writing) happens, and resolves the engine name.
+func validateFlags(f cliFlags) (exec.Engine, error) {
+	engine, err := exec.Resolve(f.Engine)
+	if err != nil {
+		return "", err
+	}
+	if f.Merge && f.Shard != "" {
+		return "", fmt.Errorf("-merge folds existing shard artifacts and cannot sweep a -shard; run the shard sweep first, then merge its artifact")
+	}
+	if f.Merge && f.Engine != "" {
+		return "", fmt.Errorf("-engine selects how a sweep executes; -merge only folds artifacts, which carry the engine their shards ran under")
+	}
+	if f.TuneKOnly && !f.Tune {
+		return "", fmt.Errorf("-tune-konly restricts the -tune search; pass -tune as well")
+	}
+	if f.TuneMax != 0 && !f.Tune {
+		return "", fmt.Errorf("-tunemax only applies to -tune sweeps; pass -tune as well")
+	}
+	return engine, nil
 }
 
 // loadBaseline reads the -check-baseline artifact ("" means the gate is
@@ -248,6 +304,23 @@ func runMerge(out string, paths []string, seed int64, quiet bool, baseline *harn
 	}
 }
 
+// Offload-gate thresholds. A machine whose original runs spend at least
+// minBlockedFrac of their makespan blocked has overlap for the
+// transformation to reclaim, so an offload stack there must show aggregate
+// gain (the paper's premise). Below that — an already-overlapped stack
+// like hpc-rdma-2019, whose wire drains the exchange faster than the node
+// computes — aggregate gain is unattainable by construction (every tuning
+// candidate is a transformed variant; declining the transformation is not
+// yet in plan space), and the honest gates are no-harm bounds: the fixed-K
+// rewrite must keep its geomean above noHarmFloor, and tuning must pull it
+// back above tunedRecoveryFloor (on the committed corpus the tuner
+// recovers hpc-rdma-2019 from 0.945 fixed to 0.987).
+const (
+	minBlockedFrac     = 0.01
+	noHarmFloor        = 0.90
+	tunedRecoveryFloor = 0.97
+)
+
 // gates applies the regression gates; aggregate selects the whole-corpus
 // gates, strict the tuned-must-strictly-beat-fixed form.
 func gates(rep *harness.Report, aggregate, strict, tuned bool) bool {
@@ -269,17 +342,33 @@ func gates(rep *harness.Report, aggregate, strict, tuned bool) bool {
 	if !aggregate {
 		return ok
 	}
-	// The overlap gates key on each machine's Offload capability flag (as
-	// recorded in the report), not on machine names, so renamed or added
-	// machine models stay gated.
+	// The overlap gates key on each machine's Offload capability flag and
+	// measured blocked share (as recorded in the report), not on machine
+	// names, so renamed or added machine models stay gated.
 	for _, ps := range rep.Summary.PerProfile {
 		if !ps.Offload {
 			continue
 		}
-		if ps.Geomean <= 1.0 {
-			fmt.Fprintf(os.Stderr, "evalrunner: no aggregate overlap gain on offload machine %s (geomean %.3f)\n",
-				ps.Profile, ps.Geomean)
-			ok = false
+		if ps.OriginalBlockedFrac >= minBlockedFrac {
+			if ps.Geomean <= 1.0 {
+				fmt.Fprintf(os.Stderr, "evalrunner: no aggregate overlap gain on offload machine %s (geomean %.3f, blocked %.1f%%)\n",
+					ps.Profile, ps.Geomean, ps.OriginalBlockedFrac*100)
+				ok = false
+			}
+		} else {
+			if ps.Geomean <= noHarmFloor {
+				fmt.Fprintf(os.Stderr, "evalrunner: fixed-K rewrite costs too much on already-overlapped machine %s (geomean %.3f ≤ %.2f floor, blocked %.2f%%)\n",
+					ps.Profile, ps.Geomean, noHarmFloor, ps.OriginalBlockedFrac*100)
+				ok = false
+			}
+			// The recovery floor binds only on the full canonical corpus
+			// (like the tuned-strictly-beats-fixed gate): a truncated
+			// prefix's tuned geomean legitimately drifts with the prefix.
+			if tuned && strict && ps.TunedGeomean > 0 && ps.TunedGeomean < tunedRecoveryFloor {
+				fmt.Fprintf(os.Stderr, "evalrunner: tuning did not recover the fixed-K loss on already-overlapped machine %s (tuned geomean %.3f < %.2f floor)\n",
+					ps.Profile, ps.TunedGeomean, tunedRecoveryFloor)
+				ok = false
+			}
 		}
 		if tuned {
 			if ps.TunedGeomean < ps.Geomean || (strict && ps.TunedGeomean <= ps.Geomean) {
@@ -292,10 +381,11 @@ func gates(rep *harness.Report, aggregate, strict, tuned bool) bool {
 	return ok
 }
 
-// resolveMachines parses the -machines list ("" = the paper pair).
+// resolveMachines parses the -machines list ("" = the default sweep set:
+// the paper pair plus hpc-rdma-2019).
 func resolveMachines(list string) ([]plan.Machine, error) {
 	if list == "" {
-		return nil, nil // harness default: plan.PaperPair()
+		return nil, nil // harness default: plan.DefaultSweep()
 	}
 	var machines []plan.Machine
 	for _, name := range strings.Split(list, ",") {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/harness"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       cliFlags
+		engine  exec.Engine
+		wantErr string
+	}{
+		{name: "defaults", f: cliFlags{}, engine: exec.EngineCompile},
+		{name: "walk engine", f: cliFlags{Engine: "walk"}, engine: exec.EngineWalk},
+		{name: "compile engine", f: cliFlags{Engine: "compile"}, engine: exec.EngineCompile},
+		{name: "unknown engine", f: cliFlags{Engine: "jit"}, wantErr: "unknown engine"},
+		{name: "merge alone", f: cliFlags{Merge: true}, engine: exec.EngineCompile},
+		{name: "shard alone", f: cliFlags{Shard: "0/2"}, engine: exec.EngineCompile},
+		{name: "merge with shard", f: cliFlags{Merge: true, Shard: "0/2"}, wantErr: "-merge"},
+		{name: "merge with engine", f: cliFlags{Merge: true, Engine: "walk"}, wantErr: "-engine"},
+		{name: "tune konly with tune", f: cliFlags{Tune: true, TuneKOnly: true}, engine: exec.EngineCompile},
+		{name: "tune konly without tune", f: cliFlags{TuneKOnly: true}, wantErr: "-tune-konly"},
+		{name: "tunemax without tune", f: cliFlags{TuneMax: 9}, wantErr: "-tunemax"},
+		{name: "tunemax with tune", f: cliFlags{Tune: true, TuneMax: 9}, engine: exec.EngineCompile},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			engine, err := validateFlags(c.f)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want ok", c.f, err)
+				}
+				if engine != c.engine {
+					t.Fatalf("engine = %q, want %q", engine, c.engine)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) succeeded, want error mentioning %q", c.f, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestOffloadGates: the aggregate overlap gate keys on the measured
+// blocked share — a machine with reclaimable blocked time must gain, an
+// already-overlapped machine (hpc-rdma-2019 class) is held to the no-harm
+// floor and, in tuned sweeps, to tuned break-even.
+func TestOffloadGates(t *testing.T) {
+	mk := func(ps ...harness.ProfileSummary) *harness.Report {
+		return &harness.Report{Schema: harness.Schema, Summary: harness.Summary{
+			Scenarios: 1, Correct: 1, PerProfile: ps,
+		}}
+	}
+	cases := []struct {
+		name   string
+		ps     harness.ProfileSummary
+		tuned  bool
+		strict bool
+		want   bool
+	}{
+		{name: "blocked machine gains", want: true,
+			ps: harness.ProfileSummary{Profile: "gm", Offload: true, Geomean: 1.1, OriginalBlockedFrac: 0.2}},
+		{name: "blocked machine fails to gain", want: false,
+			ps: harness.ProfileSummary{Profile: "gm", Offload: true, Geomean: 0.99, OriginalBlockedFrac: 0.2}},
+		{name: "overlapped machine small loss tolerated", want: true,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, OriginalBlockedFrac: 0.002}},
+		{name: "overlapped machine below no-harm floor", want: false,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.85, OriginalBlockedFrac: 0.002}},
+		{name: "overlapped machine tuned recovers", tuned: true, strict: true, want: true,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.99, OriginalBlockedFrac: 0.002}},
+		{name: "overlapped machine tuned below recovery floor", tuned: true, strict: true, want: false,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.96, OriginalBlockedFrac: 0.002}},
+		{name: "recovery floor waived off the full corpus", tuned: true, want: true,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.96, OriginalBlockedFrac: 0.002}},
+		{name: "non-offload machine ungated", want: true,
+			ps: harness.ProfileSummary{Profile: "tcp", Offload: false, Geomean: 0.7, OriginalBlockedFrac: 0.3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := gates(mk(c.ps), true, c.strict, c.tuned); got != c.want {
+				t.Errorf("gates(%+v, tuned=%v, strict=%v) = %v, want %v", c.ps, c.tuned, c.strict, got, c.want)
+			}
+		})
+	}
+}
+
+// TestLoadBaseline: -check-baseline must fail fast on an unreadable or
+// foreign-schema baseline, before any sweeping overwrites it.
+func TestLoadBaseline(t *testing.T) {
+	if rep, err := loadBaseline(""); err != nil || rep != nil {
+		t.Fatalf("empty path: (%v, %v), want (nil, nil)", rep, err)
+	}
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"repro/bench-harness/v4"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign-schema baseline: %v, want schema error", err)
+	}
+}

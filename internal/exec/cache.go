@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// The process-wide variant cache. Every (program, plan) variant the
+// pipeline produces is a concrete source text — core.Apply memoizes plan
+// keys onto generated sources, so hashing the variant source is a
+// canonical superset of keying by plan key: two plans that alias onto the
+// same generated code (a knob no-op) share one compiled artifact, and the
+// same variant reached from different scenarios, tuner candidates, or
+// sweep shards within the process compiles exactly once.
+//
+// The cache is concurrency-safe and single-flight: concurrent requests for
+// the same variant block on one compile instead of duplicating it.
+var cache = struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*cacheEntry
+	stats   CacheStats
+}{entries: map[[sha256.Size]byte]*cacheEntry{}}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+// CacheStats counts variant-cache traffic.
+type CacheStats struct {
+	// Compiled is the number of distinct variants compiled (cache misses).
+	Compiled int64
+	// Hits is the number of lookups served by an existing artifact.
+	Hits int64
+}
+
+// Sub returns the stats delta since an earlier snapshot.
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{Compiled: s.Compiled - earlier.Compiled, Hits: s.Hits - earlier.Hits}
+}
+
+// Stats snapshots the process-wide cache counters.
+func Stats() CacheStats {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return cache.stats
+}
+
+// ResetCache drops every cached artifact and zeroes the counters (tests).
+func ResetCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.entries = map[[sha256.Size]byte]*cacheEntry{}
+	cache.stats = CacheStats{}
+}
+
+// CompileCached parses and compiles src, sharing one immutable compiled
+// artifact per distinct variant source across the whole process. A cache
+// hit returns the identical *Program pointer.
+func CompileCached(src string) (*Program, error) {
+	key := sha256.Sum256([]byte(src))
+	cache.mu.Lock()
+	e, ok := cache.entries[key]
+	if ok {
+		cache.stats.Hits++
+	} else {
+		e = &cacheEntry{}
+		cache.entries[key] = e
+		cache.stats.Compiled++
+	}
+	cache.mu.Unlock()
+	e.once.Do(func() {
+		e.prog, e.err = CompileSource(src)
+	})
+	return e.prog, e.err
+}

@@ -1,0 +1,163 @@
+package exec_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// TestPlanKeysNeverCollide is the property test behind the variant cache's
+// canonicalization: every distinct plan in a dense grid over the knob
+// space — uniform plans, per-site divergent plans, and divergent plans
+// differing from each other in a single knob of a single site — must have
+// a distinct canonical key, and two plans with identical normalized
+// content must share one.
+func TestPlanKeysNeverCollide(t *testing.T) {
+	ks := []int64{1, 2, 8, 16}
+	waits := []plan.WaitSchedule{"", plan.WaitDeferred, plan.WaitPerTile}
+	orders := []plan.SendOrder{"", plan.SendStaggered, plan.SendSequential}
+	inters := []plan.Interchange{"", plan.InterchangeAuto, plan.InterchangeOn, plan.InterchangeOff}
+	var decisions []plan.Decision
+	for _, k := range ks {
+		for _, w := range waits {
+			for _, o := range orders {
+				for _, ic := range inters {
+					decisions = append(decisions, plan.Decision{K: k, Wait: w, SendOrder: o, Interchange: ic})
+				}
+			}
+		}
+	}
+	sites := []string{"10:3", "20:3"}
+	content := func(p *plan.Plan) string {
+		// The normalized decision content a key must canonicalize: two
+		// plans agreeing here are the same plan (empty knobs mean their
+		// defaults), two differing anywhere are not.
+		s := fmt.Sprintf("np=%d|%+v", p.NP, p.Default.Normalize())
+		for _, sp := range p.Sites {
+			s += fmt.Sprintf("|%s=%+v", sp.Site, sp.Decision.Normalize())
+		}
+		return s
+	}
+	seen := map[string]string{} // key -> content
+	check := func(p *plan.Plan) {
+		t.Helper()
+		key := p.Key()
+		want := content(p)
+		if got, ok := seen[key]; ok && got != want {
+			t.Fatalf("plan key collision: %q maps to both\n%s\nand\n%s", key, got, want)
+		}
+		seen[key] = want
+	}
+	// Uniform plans over the whole knob grid.
+	for _, d := range decisions {
+		check(plan.Uniform(d))
+	}
+	// Two-site divergent plans: site 0 fixed, site 1 sweeping the grid —
+	// includes every single-knob difference from the uniform plan.
+	base := plan.Decision{K: 8}
+	for _, d := range decisions {
+		p := plan.Uniform(base)
+		p.Set(sites[0], base)
+		p.Set(sites[1], d)
+		check(p)
+	}
+	// Swapping which site carries which decision must change the key.
+	a := plan.Uniform(base)
+	a.Set(sites[0], plan.Decision{K: 2})
+	a.Set(sites[1], plan.Decision{K: 16})
+	b := plan.Uniform(base)
+	b.Set(sites[0], plan.Decision{K: 16})
+	b.Set(sites[1], plan.Decision{K: 2})
+	if a.Key() == b.Key() {
+		t.Fatal("mirrored per-site plans share a key")
+	}
+	// Normalization: spelled-out defaults alias the empty knobs.
+	x := plan.Uniform(plan.Decision{K: 8})
+	y := plan.Uniform(plan.Decision{
+		K: 8, Wait: plan.WaitDeferred, SendOrder: plan.SendStaggered,
+		Interchange: plan.InterchangeAuto, InterchangeMinBlockBytes: plan.DefaultInterchangeMinBlockBytes,
+	})
+	if x.Key() != y.Key() {
+		t.Fatalf("normalized-equal plans have distinct keys:\n%q\n%q", x.Key(), y.Key())
+	}
+}
+
+const cacheKernel = `
+program tiny%d
+  include 'mpif.h'
+  integer ierr, me
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  print *, 'rank', me
+  call mpi_finalize(ierr)
+end program tiny%d
+`
+
+// TestCacheHitsReturnIdenticalArtifact: looking the same variant up again
+// must return the very same compiled artifact (pointer identity), and the
+// stats must count one compile plus the hits.
+func TestCacheHitsReturnIdenticalArtifact(t *testing.T) {
+	src := fmt.Sprintf(cacheKernel, 1, 1)
+	before := exec.Stats()
+	p1, err := exec.CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := exec.CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache hit returned a different compiled artifact")
+	}
+	other, err := exec.CompileCached(fmt.Sprintf(cacheKernel, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == p1 {
+		t.Fatal("distinct variants share one compiled artifact")
+	}
+	delta := exec.Stats().Sub(before)
+	if delta.Compiled != 2 || delta.Hits != 1 {
+		t.Fatalf("stats delta = %+v, want {Compiled:2 Hits:1}", delta)
+	}
+}
+
+// TestCacheConcurrentSingleFlight: many goroutines racing on the same new
+// variant must end up with one artifact and one compile (run under -race
+// in CI, this also proves the cache is race-clean).
+func TestCacheConcurrentSingleFlight(t *testing.T) {
+	src := fmt.Sprintf(cacheKernel, 3, 3)
+	before := exec.Stats()
+	const n = 16
+	progs := make([]*exec.Program, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := exec.CompileCached(src)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent lookups returned distinct artifacts")
+		}
+	}
+	delta := exec.Stats().Sub(before)
+	if delta.Compiled != 1 {
+		t.Fatalf("compiled %d times concurrently, want 1", delta.Compiled)
+	}
+	if delta.Hits != n-1 {
+		t.Fatalf("hits = %d, want %d", delta.Hits, n-1)
+	}
+}

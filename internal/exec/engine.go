@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/netsim"
+)
+
+// Engine selects how program variants are executed: the compiled closure
+// engine (with the process-wide variant cache) or the tree-walking
+// interpreter, which is retained as the differential oracle.
+type Engine string
+
+const (
+	// EngineCompile compiles each variant once (cached process-wide) and
+	// replays the closure program. The default.
+	EngineCompile Engine = "compile"
+	// EngineWalk parses and tree-walks the AST for every run — the
+	// historical path, kept as the bit-identical oracle.
+	EngineWalk Engine = "walk"
+)
+
+// Default is the engine used when none is named.
+const Default = EngineCompile
+
+// Resolve validates an engine name ("" selects the default).
+func Resolve(name string) (Engine, error) {
+	switch Engine(name) {
+	case "":
+		return Default, nil
+	case EngineCompile, EngineWalk:
+		return Engine(name), nil
+	}
+	return "", fmt.Errorf("exec: unknown engine %q (want %q or %q)", name, EngineCompile, EngineWalk)
+}
+
+// Run executes src on np simulated ranks under the profile, charging
+// computation against costs. Both engines produce bit-identical results;
+// EngineCompile additionally shares compiled artifacts process-wide.
+func (e Engine) Run(src string, np int, costs interp.CostModel, prof netsim.Profile) (*interp.Result, error) {
+	if e == EngineWalk {
+		p, err := interp.Load(src)
+		if err != nil {
+			return nil, err
+		}
+		p.Costs = costs
+		return p.Run(np, prof)
+	}
+	p, err := CompileCached(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(np, prof, costs)
+}

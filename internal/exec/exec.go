@@ -1,0 +1,226 @@
+// Package exec is the compiled execution engine: it lowers a parsed ftn
+// program once into a closure program — statements become func(*rctx,
+// *frame) error closures, variable names are resolved to slot indices at
+// compile time, and MPI calls are lowered to pre-resolved bindings against
+// the same mpi runtime (and the same semantics tables) the tree-walking
+// interpreter in internal/interp uses. Executing a compiled program is
+// bit-identical to tree-walking the AST: the same output lines, final
+// arrays, message counts, and virtual times, including every cost-model
+// charge in the same order.
+//
+// The point of compiling is the measurement loop: the tuner and the
+// harness run the same (program, plan) variant many times — per machine
+// model, per tuning candidate, per sweep — and the tree-walker re-parses
+// and re-walks the AST for each run. A compiled program is built once per
+// variant (see the process-wide variant cache in cache.go), shared safely
+// across concurrent simulations (all mutable state lives in per-run
+// frames; a Program is immutable after compile), and replayed for the
+// price of calling closures.
+//
+// The tree-walker is retained as the differential oracle: Engine "walk"
+// runs internal/interp, Engine "compile" runs this package, and the
+// harness's differential tests assert the two agree on every golden
+// fixture and corpus scenario.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ftn"
+	"repro/internal/interp"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+)
+
+// Program is a compiled, immutable program. It holds no run state and no
+// cost model, so one compiled artifact is shared across machines and
+// concurrent simulations.
+type Program struct {
+	main  *unit
+	units map[string]*unit // subroutines by name (first definition wins)
+}
+
+// unit is one compiled program unit.
+type unit struct {
+	name   string
+	params []string
+	// paramScal/paramArr map the i-th dummy onto its scalar and array
+	// slots; the call-site binder fills whichever side the actual argument
+	// provides (both exist — Fortran's loose argument association means a
+	// dummy's classification is decided by the caller).
+	paramScal []int
+	paramArr  []int
+
+	nscal, narr, nconst int
+	arrNames            []string // array slot -> name (main-frame snapshots)
+
+	setup []stmtFn // frame initialization: consts, declarations, views
+	body  []stmtFn
+}
+
+// frame is one procedure activation: slot-indexed storage. Scalar slots
+// hold pointers so dummy arguments alias the caller's storage exactly like
+// the tree-walker's map of *Value; nil means "not yet created" (the
+// tree-walker's missing map entry).
+type frame struct {
+	scal   []*interp.Value
+	arr    []*interp.Array
+	consts []interp.Value
+	// constSet marks constant slots whose initializer has run: a named
+	// constant is only visible once pass 1 reaches it (the tree-walker's
+	// consts-map membership), so a forward reference during frame setup
+	// falls through to implicit typing instead of reading a zero slot.
+	constSet []bool
+}
+
+func (u *unit) newFrame() *frame {
+	return &frame{
+		scal:     make([]*interp.Value, u.nscal),
+		arr:      make([]*interp.Array, u.narr),
+		consts:   make([]interp.Value, u.nconst),
+		constSet: make([]bool, u.nconst),
+	}
+}
+
+// rctx is the per-rank execution context: everything mutable during a run.
+type rctx struct {
+	prog  *Program
+	rank  *mpi.Rank
+	costs interp.CostModel
+	out   []string
+	reqs  []*mpi.Request
+	main  *frame
+}
+
+func (x *rctx) charge(t netsim.Time) { x.rank.Compute(t) }
+
+// stmtFn is a compiled statement; exprFn a compiled expression.
+type stmtFn func(x *rctx, fr *frame) error
+type exprFn func(x *rctx, fr *frame) (interp.Value, error)
+
+// Control-flow sentinels (same contract as the tree-walker's).
+var (
+	errReturn = fmt.Errorf("return")
+	errStop   = fmt.Errorf("stop")
+	errExit   = fmt.Errorf("exit")
+	errCycle  = fmt.Errorf("cycle")
+)
+
+// rte formats a positioned runtime error exactly like the tree-walker.
+func rte(pos ftn.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %v", pos, fmt.Errorf(format, args...))
+}
+
+// runStmts executes a compiled statement list.
+func runStmts(x *rctx, fr *frame, fns []stmtFn) error {
+	for _, fn := range fns {
+		if err := fn(x, fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compile lowers a parsed file into a closure program.
+func Compile(file *ftn.File) (*Program, error) {
+	if file.Program() == nil {
+		return nil, fmt.Errorf("exec: no program unit")
+	}
+	prog := &Program{units: map[string]*unit{}}
+	for _, un := range file.Units {
+		cu := compileUnit(prog, un)
+		switch un.Kind {
+		case ftn.ProgramUnit:
+			if prog.main == nil {
+				prog.main = cu
+			}
+		case ftn.SubroutineUnit:
+			if _, ok := prog.units[un.Name]; !ok {
+				prog.units[un.Name] = cu
+			}
+		}
+	}
+	return prog, nil
+}
+
+// CompileSource parses and compiles src (uncached; see CompileCached).
+func CompileSource(src string) (*Program, error) {
+	f, err := ftn.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f)
+}
+
+// Run executes the compiled program on np simulated ranks over the profile,
+// charging computation against costs. The result is bit-identical to
+// interp's tree-walk of the same source under the same machine.
+func (p *Program) Run(np int, prof netsim.Profile, costs interp.CostModel) (*interp.Result, error) {
+	res := &interp.Result{
+		Output: make([][]string, np),
+		Arrays: make([]map[string]interface{}, np),
+		Errors: make([]error, np),
+	}
+	var mu sync.Mutex
+	stats, err := mpi.Run(np, prof, func(r *mpi.Rank) {
+		x := &rctx{prog: p, rank: r, costs: costs}
+		runErr := p.runMain(x)
+		mu.Lock()
+		res.Output[r.Me()] = x.out
+		res.Errors[r.Me()] = runErr
+		if x.main != nil {
+			snap := map[string]interface{}{}
+			for i, a := range x.main.arr {
+				if a != nil {
+					snap[p.main.arrNames[i]] = a.Snapshot()
+				}
+			}
+			res.Arrays[r.Me()] = snap
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		// A rank error that ended a rank early usually surfaces as a
+		// deadlock; attach the per-rank errors for diagnosis.
+		for i, re := range res.Errors {
+			if re != nil {
+				return res, fmt.Errorf("%v (rank %d: %v)", err, i, re)
+			}
+		}
+		return res, err
+	}
+	res.Stats = stats
+	for i, re := range res.Errors {
+		if re != nil {
+			return res, fmt.Errorf("rank %d: %v", i, re)
+		}
+	}
+	return res, nil
+}
+
+// runMain executes the main unit on this context's rank.
+func (p *Program) runMain(x *rctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The wording matches the tree-walker's: per-rank error strings
+			// are part of the engines' differential contract (harness-level
+			// comparisons include Outcome.Err).
+			err = fmt.Errorf("interp panic: %v", r)
+		}
+	}()
+	fr := p.main.newFrame()
+	for _, st := range p.main.setup {
+		if err := st(x, fr); err != nil {
+			return err
+		}
+	}
+	// Arrays are snapshotted only once the frame initialized cleanly,
+	// matching the tree-walker (newFrame failure leaves no main frame).
+	x.main = fr
+	err = runStmts(x, fr, p.main.body)
+	if err == errStop || err == errReturn {
+		err = nil
+	}
+	return err
+}

@@ -1,0 +1,241 @@
+package exec_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// requireBitIdentical asserts two results agree on everything the
+// simulation observes: printed output, every final array (both ways),
+// virtual completion time, per-rank compute/blocked split, and the message
+// and byte counters.
+func requireBitIdentical(t *testing.T, label string, walk, comp *interp.Result) {
+	t.Helper()
+	if same, why := interp.SameOutput(walk, comp); !same {
+		t.Fatalf("%s: walk vs compile output/arrays: %s", label, why)
+	}
+	if same, why := interp.SameOutput(comp, walk); !same {
+		t.Fatalf("%s: compile vs walk output/arrays: %s", label, why)
+	}
+	for r := range walk.Arrays {
+		if len(walk.Arrays[r]) != len(comp.Arrays[r]) {
+			t.Fatalf("%s: rank %d holds %d arrays under walk, %d under compile",
+				label, r, len(walk.Arrays[r]), len(comp.Arrays[r]))
+		}
+	}
+	if walk.Elapsed() != comp.Elapsed() {
+		t.Fatalf("%s: elapsed %v (walk) vs %v (compile)", label, walk.Elapsed(), comp.Elapsed())
+	}
+	if walk.Stats.Messages != comp.Stats.Messages || walk.Stats.Bytes != comp.Stats.Bytes {
+		t.Fatalf("%s: traffic %d msgs/%d B (walk) vs %d msgs/%d B (compile)", label,
+			walk.Stats.Messages, walk.Stats.Bytes, comp.Stats.Messages, comp.Stats.Bytes)
+	}
+	for r := range walk.Stats.PerRank {
+		w, c := walk.Stats.PerRank[r], comp.Stats.PerRank[r]
+		if w != c {
+			t.Fatalf("%s: rank %d stats %+v (walk) vs %+v (compile)", label, r, w, c)
+		}
+	}
+}
+
+// runBoth executes src under both engines on one machine.
+func runBoth(t *testing.T, label, src string, np int, m plan.Machine) (*interp.Result, *interp.Result) {
+	t.Helper()
+	walk, err := exec.EngineWalk.Run(src, np, m.Costs, m.Profile)
+	if err != nil {
+		t.Fatalf("%s: walk: %v", label, err)
+	}
+	comp, err := exec.EngineCompile.Run(src, np, m.Costs, m.Profile)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	return walk, comp
+}
+
+var npRe = regexp.MustCompile(`np\s*=\s*(\d+)`)
+
+// TestGoldenFixturesBitIdentical runs every runnable golden fixture under
+// both engines on every built-in machine and requires identical results.
+func TestGoldenFixturesBitIdentical(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.f90"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden fixtures found: %v", err)
+	}
+	ran := 0
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(b)
+		if !strings.Contains(src, "program ") {
+			continue // code fragments (figure4) are not runnable
+		}
+		m := npRe.FindStringSubmatch(src)
+		if m == nil {
+			continue
+		}
+		np, _ := strconv.Atoi(m[1])
+		for _, machine := range plan.Builtin() {
+			label := fmt.Sprintf("%s/%s", filepath.Base(path), machine.Name)
+			walk, comp := runBoth(t, label, src, np, machine)
+			requireBitIdentical(t, label, walk, comp)
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no runnable fixtures exercised")
+	}
+}
+
+// TestCorpusBitIdentical runs the full generated corpus — original and
+// fixed-plan transformed variants — under both engines on the paper pair
+// and requires bit-identical results everywhere. This is the differential
+// oracle of the compiled engine: any semantic or cost-model divergence
+// from the tree-walker fails here.
+func TestCorpusBitIdentical(t *testing.T) {
+	scenarios := workload.GenerateScenarios(workload.GenOptions{})
+	if len(scenarios) < 40 {
+		t.Fatalf("corpus has %d scenarios, want >= 40", len(scenarios))
+	}
+	if testing.Short() {
+		// The round-robin interleave keeps any prefix family-diverse.
+		scenarios = scenarios[:12]
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			transformed, rep, err := core.Apply(prog, core.Options{K: sc.K}.Plan())
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			if rep.TransformedCount() == 0 {
+				t.Fatalf("transform did not fire: %s", rep.FirstRejection())
+			}
+			for _, m := range plan.PaperPair() {
+				if sc.Costs != nil {
+					m.Costs = *sc.Costs
+				}
+				for vi, src := range []string{sc.Source, transformed} {
+					label := fmt.Sprintf("%s/%s/variant%d", sc.Name, m.Name, vi)
+					walk, comp := runBoth(t, label, src, sc.NP, m)
+					requireBitIdentical(t, label, walk, comp)
+				}
+			}
+		})
+	}
+}
+
+// TestSubroutineAndImplicitSemantics exercises the engine's trickiest
+// lowering paths in one kernel: user subroutines with scalar aliasing and
+// sequence-associated array views, implicit typing, named constants,
+// intrinsics, EXIT/CYCLE, and a loop whose variable survives the loop.
+func TestSubroutineAndImplicitSemantics(t *testing.T) {
+	src := `
+program torture
+  include 'mpif.h'
+  integer, parameter :: n = 6
+  integer, parameter :: m = n * 2
+  integer a(1:n, 1:2)
+  integer ierr, me, i, total, cnt
+  call mpi_init(ierr)
+  call mpi_comm_rank(mpi_comm_world, me, ierr)
+  do i = 1, n
+    a(i, 1) = i * 3
+    a(i, 2) = i + me
+  enddo
+  total = 0
+  cnt = n
+  call accum(a(1, 2), cnt, total)
+  call bump(total)
+  do i = 1, m
+    if (i > 7) then
+      exit
+    endif
+    if (mod(i, 2) == 0) then
+      cycle
+    endif
+    total = total + i
+  enddo
+  xkeep = 2.5
+  print *, 'total', total, i, xkeep, max(total, 40), sqrt(4.0)
+  call mpi_finalize(ierr)
+end program torture
+
+subroutine accum(v, k, acc)
+  integer k, acc
+  integer v(1:k)
+  integer j
+  do j = 1, k
+    acc = acc + v(j)
+  enddo
+end subroutine accum
+
+subroutine bump(x)
+  integer x
+  x = x + 100
+end subroutine bump
+`
+	for _, m := range plan.Builtin() {
+		walk, comp := runBoth(t, "torture/"+m.Name, src, 3, m)
+		requireBitIdentical(t, "torture/"+m.Name, walk, comp)
+	}
+}
+
+// TestDuplicateArrayDeclaration: a unit declaring the same array name
+// twice must behave like the tree-walker (the second allocation replaces
+// the first) — a dummy's caller backing must not be confused with an
+// earlier declaration's allocation.
+func TestDuplicateArrayDeclaration(t *testing.T) {
+	src := `
+program dupdecl
+  include 'mpif.h'
+  integer a(1:2)
+  integer a(1:10)
+  integer ierr
+  call mpi_init(ierr)
+  a(9) = 7
+  print *, 'a9', a(9)
+  call mpi_finalize(ierr)
+end program dupdecl
+`
+	m := plan.MPICHGM2005()
+	walk, comp := runBoth(t, "dupdecl", src, 2, m)
+	requireBitIdentical(t, "dupdecl", walk, comp)
+}
+
+// TestForwardConstantReference: a parameter initializer referencing a
+// later parameter must fall back to the implicit-typing zero exactly like
+// the tree-walker (the constant is only visible once pass 1 sets it).
+func TestForwardConstantReference(t *testing.T) {
+	src := `
+program fwdconst
+  include 'mpif.h'
+  integer, parameter :: k = 3 + b
+  integer, parameter :: b = 5
+  integer ierr
+  call mpi_init(ierr)
+  print *, 'k', k, 'b', b
+  call mpi_finalize(ierr)
+end program fwdconst
+`
+	m := plan.MPICHGM2005()
+	walk, comp := runBoth(t, "fwdconst", src, 2, m)
+	requireBitIdentical(t, "fwdconst", walk, comp)
+}

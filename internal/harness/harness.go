@@ -17,8 +17,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/plan"
@@ -26,14 +28,13 @@ import (
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout. v4 makes the sweep per-site:
-// the report records the machine set it was swept under (so shard merges
-// can reject mismatches without scanning outcomes), tuned rows carry one
-// decision per MPI_ALLTOALL site plus the analytic seed tile sizes that
-// proposed each site's search, a tuned row whose sites diverge is flagged
-// (with the best uniform speedup it had to beat), and the summary counts
-// divergent plans next to the non-default ones.
-const Schema = "repro/bench-harness/v4"
+// Schema identifies the JSON artifact layout. v5 puts the sweep on the
+// compiled execution engine: the report records which engine ran it
+// ("compile" or the tree-walking oracle "walk"), and the summary carries
+// the engine-economics counters — variants_compiled and cache_hits from
+// the process-wide compiled-variant cache, and sweep_wall_ns, the
+// scheduler's wall-clock cost — next to the v4 per-site tuning fields.
+const Schema = "repro/bench-harness/v5"
 
 // Config parameterizes one sweep.
 type Config struct {
@@ -41,13 +42,15 @@ type Config struct {
 	// corpus (workload.GenerateScenarios with seed 0).
 	Scenarios []workload.Scenario
 	// Machines are the machine models to measure under; empty means the
-	// paper's pair: mpich-tcp-2005 (host progress) and mpich-gm-2005 (NIC
-	// offload). A scenario's Costs override applies on top of each
-	// machine's CPU cost model.
+	// default sweep set (plan.DefaultSweep): the paper's pair —
+	// mpich-tcp-2005 (host progress) and mpich-gm-2005 (NIC offload) —
+	// plus the modern hpc-rdma-2019 stack. A scenario's Costs override
+	// applies on top of each machine's CPU cost model.
 	Machines []plan.Machine
-	// Parallelism bounds concurrent scenario workers; <= 0 means
-	// GOMAXPROCS. Results are deterministic regardless of the value: each
-	// scenario is self-contained and results are collected by index.
+	// Parallelism bounds the sweep scheduler's concurrent workers; <= 0
+	// means GOMAXPROCS. Work items are (scenario, machine) pairs; results
+	// are collected by index, so reports are deterministic regardless of
+	// the value.
 	Parallelism int
 	// Arrays names the observable arrays the correctness oracle compares
 	// (besides all printed output); empty means {"ar"}, the receive array
@@ -65,6 +68,11 @@ type Config struct {
 	// TuneKOnly restricts the search to the tile size (the historical
 	// K-only tuner), for ablation sweeps.
 	TuneKOnly bool
+	// Engine selects the execution engine: exec.EngineCompile (default)
+	// compiles each (program, plan) variant once into a closure program,
+	// shared through the process-wide variant cache; exec.EngineWalk
+	// re-parses and tree-walks per run — the differential oracle.
+	Engine exec.Engine
 }
 
 // ProfileRun is one (scenario, machine) differential measurement.
@@ -181,6 +189,15 @@ type Summary struct {
 	// decisions to different MPI_ALLTOALL sites of one program — the signal
 	// that the per-site search is finding wins no uniform plan can express.
 	DivergentPlans int `json:"divergent_plans"`
+	// VariantsCompiled and CacheHits are this sweep's traffic against the
+	// process-wide compiled-variant cache (zero under the walk engine):
+	// distinct (program, plan) variants compiled vs. lookups served by an
+	// already-compiled artifact. Merge sums them across shards.
+	VariantsCompiled int64 `json:"variants_compiled"`
+	CacheHits        int64 `json:"cache_hits"`
+	// SweepWallNs is the scheduler's wall-clock cost for this sweep (the
+	// quantity the engine exists to shrink); merge sums shard walls.
+	SweepWallNs int64 `json:"sweep_wall_ns"`
 }
 
 // ProfileSummary is one machine's aggregate row.
@@ -194,11 +211,26 @@ type ProfileSummary struct {
 	TunedGeomean float64 `json:"tuned_geomean_speedup,omitempty"`
 	// NonPositive counts this machine's non-positive speedup measurements.
 	NonPositive int `json:"non_positive_speedups"`
+	// OriginalBlockedFrac is the aggregate blocked share of the original
+	// (untransformed) runs on this machine: the average per-rank blocked
+	// time summed over clean scenarios, divided by the summed makespans.
+	// It measures how much overlap the machine leaves on the table — the
+	// raw material of the paper's transformation. Gates use it to tell
+	// machines with reclaimable blocked time (where an offload stack must
+	// show aggregate gain) from already-overlapped stacks like
+	// hpc-rdma-2019, whose 100G wire drains the exchange faster than the
+	// node computes (where only the no-harm and tuned-recovery bounds are
+	// meaningful).
+	OriginalBlockedFrac float64 `json:"original_blocked_frac"`
 }
 
 // Report is the sweep artifact (marshalled to BENCH_harness.json).
 type Report struct {
 	Schema string `json:"schema"`
+	// Engine names the execution engine the sweep ran on ("compile" or
+	// "walk"). Merge requires it to agree across shards: mixing engines
+	// would make the summed wall/cache counters meaningless.
+	Engine string `json:"engine,omitempty"`
 	// Machines names the machine-model set the sweep ran under, in sweep
 	// order. Merge requires it to agree across shards — an outcome-level
 	// scan alone can miss a mismatch when a shard's scenarios all errored.
@@ -207,34 +239,90 @@ type Report struct {
 	Summary   Summary   `json:"summary"`
 }
 
-// Run executes the sweep. The returned error covers only configuration
-// problems; per-scenario failures are recorded in their Outcome (and in
-// Summary) so one broken scenario cannot hide the rest of the corpus.
+// Run executes the sweep on the scheduler: work items are (scenario,
+// machine) pairs drained by a worker pool — the fixed differential wave
+// first, then (in tuned mode) the plan-search wave over the scenarios that
+// passed the oracle. Results land in per-index slots, so the report is
+// deterministic regardless of parallelism. The returned error covers only
+// configuration problems; per-scenario failures are recorded in their
+// Outcome (and in Summary) so one broken scenario cannot hide the rest of
+// the corpus.
 func Run(cfg Config) (*Report, error) {
 	scenarios := cfg.Scenarios
 	if len(scenarios) == 0 {
 		scenarios = workload.GenerateScenarios(workload.GenOptions{})
 	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("harness: empty corpus")
+	}
 	machines := cfg.Machines
 	if len(machines) == 0 {
-		machines = plan.PaperPair()
+		machines = plan.DefaultSweep()
 	}
 	arrays := cfg.Arrays
 	if len(arrays) == 0 {
 		arrays = []string{"ar"}
 	}
+	engine, err := exec.Resolve(string(cfg.Engine))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %v", err)
+	}
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(scenarios) {
-		par = len(scenarios)
-	}
-	if par < 1 {
-		return nil, fmt.Errorf("harness: empty corpus")
+
+	wallStart := time.Now()
+	cacheBefore := exec.Stats()
+
+	states := make([]*scenarioState, len(scenarios))
+	for i, sc := range scenarios {
+		states[i] = newScenarioState(sc, machines, arrays, engine)
 	}
 
-	outcomes := make([]Outcome, len(scenarios))
+	nm := len(machines)
+	// Wave 1: fixed differential measurements, one item per
+	// scenario×machine. The first worker to touch a scenario prepares it
+	// (analyze + fixed-plan apply) under a sync.Once.
+	runTasks(par, len(states)*nm, func(ti int) {
+		st := states[ti/nm]
+		st.prepare()
+		st.runMachine(ti % nm)
+	})
+	// Wave 2: the tuned plan search, again one item per scenario×machine,
+	// skipping scenarios that errored or failed the oracle (their fixed
+	// rows already tell the story).
+	if cfg.Tune {
+		runTasks(par, len(states)*nm, func(ti int) {
+			states[ti/nm].tuneMachine(ti%nm, cfg)
+		})
+	}
+
+	outcomes := make([]Outcome, len(states))
+	for i, st := range states {
+		outcomes[i] = st.assemble(cfg.Tune)
+	}
+
+	rep := &Report{Schema: Schema, Engine: string(engine), Scenarios: outcomes}
+	for _, m := range machines {
+		rep.Machines = append(rep.Machines, m.Name)
+	}
+	rep.Summary = summarize(outcomes)
+	delta := exec.Stats().Sub(cacheBefore)
+	rep.Summary.VariantsCompiled = delta.Compiled
+	rep.Summary.CacheHits = delta.Hits
+	rep.Summary.SweepWallNs = time.Since(wallStart).Nanoseconds()
+	return rep, nil
+}
+
+// runTasks drains n work items through a pool of par workers.
+func runTasks(par, n int, fn func(i int)) {
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -242,22 +330,15 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outcomes[i] = runScenario(scenarios[i], machines, arrays, cfg)
+				fn(i)
 			}
 		}()
 	}
-	for i := range scenarios {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-
-	rep := &Report{Schema: Schema, Scenarios: outcomes}
-	for _, m := range machines {
-		rep.Machines = append(rep.Machines, m.Name)
-	}
-	rep.Summary = summarize(outcomes)
-	return rep, nil
 }
 
 // machinesFor overlays the scenario's cost-model override (if any) onto the
@@ -274,108 +355,204 @@ func machinesFor(sc workload.Scenario, machines []plan.Machine) []plan.Machine {
 	return out
 }
 
-// runScenario executes the full differential chain for one scenario.
-func runScenario(sc workload.Scenario, machines []plan.Machine, arrays []string, cfg Config) Outcome {
-	fixedPlan := core.Options{K: sc.K}.Plan()
-	out := Outcome{
-		Index: sc.Index, Name: sc.Name, Family: sc.Family, NP: sc.NP, K: sc.K,
-		Seed: sc.Seed, PairBytes: sc.PairBytes, Regime: sc.Regime,
-		Plan: fixedPlan.Default,
-	}
-	fail := func(format string, args ...interface{}) Outcome {
-		out.Err = fmt.Sprintf(format, args...)
-		return out
-	}
-	machines = machinesFor(sc, machines)
+// scenarioState carries one scenario through the scheduler: shared
+// preparation (analysis, the fixed-plan variant) plus per-machine result
+// slots filled concurrently and assembled deterministically.
+type scenarioState struct {
+	sc       workload.Scenario
+	machines []plan.Machine
+	arrays   []string
+	engine   exec.Engine
+
+	fixedPlan *plan.Plan
+
+	prepOnce         sync.Once
+	prog             *core.Program
+	transformed      string
+	transformedSites int
+	interchanged     bool
+	prepErr          string
+
+	// Per-machine slots (indexed like machines).
+	profiles []ProfileRun
+	runErr   []string
+	mismatch []string
+	tuned    []*TunedRun
+	tuneErr  []string
+}
+
+func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []string, engine exec.Engine) *scenarioState {
 	// A scenario naming its own observable arrays (multi-site kernels have
 	// one receive array per exchange) overrides the sweep default.
 	if len(sc.Arrays) > 0 {
 		arrays = sc.Arrays
 	}
+	return &scenarioState{
+		sc:        sc,
+		machines:  machinesFor(sc, machines),
+		arrays:    arrays,
+		engine:    engine,
+		fixedPlan: core.Options{K: sc.K}.Plan(),
+		profiles:  make([]ProfileRun, len(machines)),
+		runErr:    make([]string, len(machines)),
+		mismatch:  make([]string, len(machines)),
+		tuned:     make([]*TunedRun, len(machines)),
+		tuneErr:   make([]string, len(machines)),
+	}
+}
 
-	// 1. Analyze (parse + per-site opportunities) and apply the fixed plan.
-	prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
-	if err != nil {
-		return fail("analyze: %v", err)
-	}
-	transformed, rep, err := core.Apply(prog, fixedPlan)
-	if err != nil {
-		return fail("apply: %v", err)
-	}
-	out.TransformedSites = rep.TransformedCount()
-	out.Interchanged = rep.AnyInterchanged()
-	if out.TransformedSites == 0 {
-		return fail("transform did not fire: %s", rep.FirstRejection())
-	}
-
-	// 2–5. Run both variants under every machine; assert identical results.
-	out.Identical = true
-	for _, m := range machines {
-		var results [2]*interp.Result
-		var times [2]netsim.Time
-		var blocked [2]netsim.Time
-		var msgs, bytes [2]int64
-		for vi, text := range []string{sc.Source, transformed} {
-			prog, err := interp.Load(text)
-			if err != nil {
-				return fail("load %s variant %d: %v", m.Name, vi, err)
-			}
-			prog.Costs = m.Costs
-			res, err := prog.Run(sc.NP, m.Profile)
-			if err != nil {
-				return fail("run %s variant %d: %v", m.Name, vi, err)
-			}
-			results[vi] = res
-			times[vi] = res.Elapsed()
-			_, b := res.AvgRankTimes()
-			blocked[vi] = b
-			msgs[vi] = res.Stats.Messages
-			bytes[vi] = res.Stats.Bytes
-		}
-		pr := ProfileRun{
-			Profile: m.Name, Offload: m.Profile.Offload,
-			OriginalNs: int64(times[0]), PrepushNs: int64(times[1]),
-			OriginalBlockedNs: int64(blocked[0]), PrepushBlockedNs: int64(blocked[1]),
-			OriginalMessages: msgs[0], PrepushMessages: msgs[1],
-			OriginalBytes: bytes[0], PrepushBytes: bytes[1],
-		}
-		if times[1] > 0 {
-			pr.Speedup = float64(times[0]) / float64(times[1])
-		}
-		out.Profiles = append(out.Profiles, pr)
-		if same, why := interp.SameObservable(results[0], results[1], arrays...); !same {
-			out.Identical = false
-			if out.Mismatch == "" {
-				out.Mismatch = fmt.Sprintf("%s: %s", m.Name, why)
-			}
-		}
-	}
-
-	// Tuned mode: search plan space per machine next to the fixed-K
-	// measurement.
-	if cfg.Tune && out.Identical {
-		choices, err := tune.Tune(
-			tune.Input{Source: sc.Source, Program: prog, NP: sc.NP, FixedK: sc.K, Machines: machines},
-			tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: arrays, KOnly: cfg.TuneKOnly},
-		)
+// prepare analyzes the scenario and applies the fixed plan, once.
+func (st *scenarioState) prepare() {
+	st.prepOnce.Do(func() {
+		prog, err := core.Analyze(st.sc.Source, core.AnalyzeOptions{})
 		if err != nil {
-			return fail("tune: %v", err)
+			st.prepErr = fmt.Sprintf("analyze: %v", err)
+			return
 		}
-		for _, c := range choices {
-			tr := TunedRun{
-				Profile: c.Machine, Offload: c.Offload,
-				Plan: c.Chosen, ChosenK: c.Chosen.K,
-				TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
-				FixedSpeedup: c.FixedSpeedup,
-				Divergent:    c.Divergent, UniformSpeedup: c.UniformSpeedup,
-				Evaluations: c.Evaluations, SearchSimNs: c.SearchSimNs,
+		transformed, rep, err := core.Apply(prog, st.fixedPlan)
+		if err != nil {
+			st.prepErr = fmt.Sprintf("apply: %v", err)
+			return
+		}
+		if rep.TransformedCount() == 0 {
+			st.prepErr = fmt.Sprintf("transform did not fire: %s", rep.FirstRejection())
+			return
+		}
+		st.prog = prog
+		st.transformed = transformed
+		st.transformedSites = rep.TransformedCount()
+		st.interchanged = rep.AnyInterchanged()
+	})
+}
+
+// runMachine executes the fixed differential measurement for one machine.
+func (st *scenarioState) runMachine(mi int) {
+	if st.prepErr != "" {
+		return
+	}
+	m := st.machines[mi]
+	var results [2]*interp.Result
+	var times [2]netsim.Time
+	var blocked [2]netsim.Time
+	var msgs, bytes [2]int64
+	for vi, text := range []string{st.sc.Source, st.transformed} {
+		res, err := st.engine.Run(text, st.sc.NP, m.Costs, m.Profile)
+		if err != nil {
+			st.runErr[mi] = fmt.Sprintf("run %s variant %d: %v", m.Name, vi, err)
+			return
+		}
+		results[vi] = res
+		times[vi] = res.Elapsed()
+		_, b := res.AvgRankTimes()
+		blocked[vi] = b
+		msgs[vi] = res.Stats.Messages
+		bytes[vi] = res.Stats.Bytes
+	}
+	pr := ProfileRun{
+		Profile: m.Name, Offload: m.Profile.Offload,
+		OriginalNs: int64(times[0]), PrepushNs: int64(times[1]),
+		OriginalBlockedNs: int64(blocked[0]), PrepushBlockedNs: int64(blocked[1]),
+		OriginalMessages: msgs[0], PrepushMessages: msgs[1],
+		OriginalBytes: bytes[0], PrepushBytes: bytes[1],
+	}
+	if times[1] > 0 {
+		pr.Speedup = float64(times[0]) / float64(times[1])
+	}
+	st.profiles[mi] = pr
+	if same, why := interp.SameObservable(results[0], results[1], st.arrays...); !same {
+		st.mismatch[mi] = fmt.Sprintf("%s: %s", m.Name, why)
+	}
+}
+
+// clean reports whether the scenario prepared, ran, and passed the oracle
+// on every machine — the precondition for tuning it.
+func (st *scenarioState) clean() bool {
+	if st.prepErr != "" {
+		return false
+	}
+	for mi := range st.machines {
+		if st.runErr[mi] != "" || st.mismatch[mi] != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// tuneMachine runs the plan search for one machine (wave 2).
+func (st *scenarioState) tuneMachine(mi int, cfg Config) {
+	if !st.clean() {
+		return
+	}
+	m := st.machines[mi]
+	choices, err := tune.Tune(
+		tune.Input{Source: st.sc.Source, Program: st.prog, NP: st.sc.NP, FixedK: st.sc.K,
+			Machines: []plan.Machine{m}},
+		tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: st.arrays,
+			KOnly: cfg.TuneKOnly, Engine: st.engine},
+	)
+	if err != nil {
+		st.tuneErr[mi] = fmt.Sprintf("tune: %v", err)
+		return
+	}
+	c := choices[0]
+	tr := &TunedRun{
+		Profile: c.Machine, Offload: c.Offload,
+		Plan: c.Chosen, ChosenK: c.Chosen.K,
+		TunedSpeedup: c.Speedup, TunedNs: c.PrepushNs,
+		FixedSpeedup: c.FixedSpeedup,
+		Divergent:    c.Divergent, UniformSpeedup: c.UniformSpeedup,
+		Evaluations: c.Evaluations, SearchSimNs: c.SearchSimNs,
+	}
+	for _, s := range c.Sites {
+		tr.Sites = append(tr.Sites, TunedSite{
+			Site: s.Site, Decision: s.Decision, SeedKs: s.SeedKs,
+		})
+	}
+	st.tuned[mi] = tr
+}
+
+// assemble folds the slots into the scenario's Outcome, deterministically:
+// machine rows in sweep order, the first error (in machine order) winning.
+func (st *scenarioState) assemble(tunedMode bool) Outcome {
+	out := Outcome{
+		Index: st.sc.Index, Name: st.sc.Name, Family: st.sc.Family, NP: st.sc.NP,
+		K: st.sc.K, Seed: st.sc.Seed, PairBytes: st.sc.PairBytes, Regime: st.sc.Regime,
+		Plan: st.fixedPlan.Default,
+	}
+	if st.prepErr != "" {
+		out.Err = st.prepErr
+		return out
+	}
+	for mi := range st.machines {
+		if st.runErr[mi] != "" {
+			out.Err = st.runErr[mi]
+			return out
+		}
+	}
+	out.TransformedSites = st.transformedSites
+	out.Interchanged = st.interchanged
+	out.Profiles = append(out.Profiles, st.profiles...)
+	out.Identical = true
+	for mi := range st.machines {
+		if st.mismatch[mi] != "" {
+			out.Identical = false
+			out.Mismatch = st.mismatch[mi]
+			break
+		}
+	}
+	if tunedMode && out.Identical {
+		for mi := range st.machines {
+			if st.tuneErr[mi] != "" {
+				// A failed search fails the scenario (matching the
+				// historical single-call behavior): the fixed rows stay,
+				// tuned rows are dropped.
+				out.Err = st.tuneErr[mi]
+				out.Tuned = nil
+				return out
 			}
-			for _, st := range c.Sites {
-				tr.Sites = append(tr.Sites, TunedSite{
-					Site: st.Site, Decision: st.Decision, SeedKs: st.SeedKs,
-				})
+			if st.tuned[mi] != nil {
+				out.Tuned = append(out.Tuned, *st.tuned[mi])
 			}
-			out.Tuned = append(out.Tuned, tr)
 		}
 	}
 	return out
@@ -393,6 +570,8 @@ func Merge(reports []*Report) (*Report, error) {
 	}
 	var outcomes []Outcome
 	machineSet := ""
+	engine := ""
+	var compiled, hits, wall int64
 	for i, r := range reports {
 		if r.Schema != Schema {
 			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q — regenerate the shard with this binary", i, r.Schema, Schema)
@@ -402,9 +581,18 @@ func Merge(reports []*Report) (*Report, error) {
 		ms := strings.Join(r.Machines, ",")
 		if i == 0 {
 			machineSet = ms
-		} else if ms != machineSet {
-			return nil, fmt.Errorf("harness: merge input %d was swept under machine set [%s], want [%s] — shards must use identical -machines", i, ms, machineSet)
+			engine = r.Engine
+		} else {
+			if ms != machineSet {
+				return nil, fmt.Errorf("harness: merge input %d was swept under machine set [%s], want [%s] — shards must use identical -machines", i, ms, machineSet)
+			}
+			if r.Engine != engine {
+				return nil, fmt.Errorf("harness: merge input %d was swept under engine %q, want %q — shards must use one -engine", i, r.Engine, engine)
+			}
 		}
+		compiled += r.Summary.VariantsCompiled
+		hits += r.Summary.CacheHits
+		wall += r.Summary.SweepWallNs
 		outcomes = append(outcomes, r.Scenarios...)
 	}
 	sort.SliceStable(outcomes, func(i, j int) bool {
@@ -444,8 +632,11 @@ func Merge(reports []*Report) (*Report, error) {
 			return nil, fmt.Errorf("harness: merge mixes tuned and untuned shards (%s)", o.Name)
 		}
 	}
-	rep := &Report{Schema: Schema, Machines: reports[0].Machines, Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Engine: engine, Machines: reports[0].Machines, Scenarios: outcomes}
 	rep.Summary = summarize(outcomes)
+	rep.Summary.VariantsCompiled = compiled
+	rep.Summary.CacheHits = hits
+	rep.Summary.SweepWallNs = wall
 	return rep, nil
 }
 
@@ -473,6 +664,7 @@ func summarize(outcomes []Outcome) Summary {
 		logSum, tunedLogSum float64
 		cnt, tunedCnt       int
 		nonPositive         int
+		origNs, blockedNs   float64
 	}
 	aggs := map[string]*agg{}
 	aggFor := func(name string, offload bool) *agg {
@@ -498,6 +690,8 @@ func summarize(outcomes []Outcome) Summary {
 		gained := false
 		for _, pr := range o.Profiles {
 			a := aggFor(pr.Profile, pr.Offload)
+			a.origNs += float64(pr.OriginalNs)
+			a.blockedNs += float64(pr.OriginalBlockedNs)
 			if pr.Speedup > 0 {
 				a.logSum += math.Log(pr.Speedup)
 				a.cnt++
@@ -540,6 +734,9 @@ func summarize(outcomes []Outcome) Summary {
 	for _, name := range names {
 		a := aggs[name]
 		ps := ProfileSummary{Profile: name, Offload: a.offload, NonPositive: a.nonPositive}
+		if a.origNs > 0 {
+			ps.OriginalBlockedFrac = a.blockedNs / a.origNs
+		}
 		if a.cnt > 0 {
 			ps.Geomean = math.Exp(a.logSum / float64(a.cnt))
 			s.GeomeanSpeedup[name] = ps.Geomean
@@ -618,6 +815,11 @@ func (r *Report) Table() string {
 	}
 	fmt.Fprintf(&sb, "\n%d scenarios, %d identical, %d errors\n",
 		r.Summary.Scenarios, r.Summary.Correct, r.Summary.Errors)
+	if r.Engine != "" {
+		fmt.Fprintf(&sb, "engine %s: %d variant(s) compiled, %d cache hit(s), sweep wall %s\n",
+			r.Engine, r.Summary.VariantsCompiled, r.Summary.CacheHits,
+			netsim.Time(r.Summary.SweepWallNs))
+	}
 	if r.Summary.NonPositive > 0 {
 		fmt.Fprintf(&sb, "WARNING: %d non-positive speedup measurement(s) excluded from geomeans\n",
 			r.Summary.NonPositive)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/workload"
 )
@@ -40,8 +41,8 @@ func TestDifferentialSweep(t *testing.T) {
 	families := map[string]bool{}
 	for _, o := range rep.Scenarios {
 		families[o.Family] = true
-		if len(o.Profiles) != 2 {
-			t.Errorf("%s: %d profile runs, want 2", o.Name, len(o.Profiles))
+		if want := len(plan.DefaultSweep()); len(o.Profiles) != want {
+			t.Errorf("%s: %d profile runs, want %d (the default sweep set)", o.Name, len(o.Profiles), want)
 		}
 		for _, pr := range o.Profiles {
 			if pr.OriginalNs <= 0 || pr.PrepushNs <= 0 {
@@ -64,6 +65,11 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Wall time and variant-cache traffic vary with scheduling; every
+		// measured and derived number must not.
+		rep.Summary.SweepWallNs = 0
+		rep.Summary.VariantsCompiled = 0
+		rep.Summary.CacheHits = 0
 		b, err := json.Marshal(rep)
 		if err != nil {
 			t.Fatal(err)
@@ -72,6 +78,103 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if string(reports[0]) != string(reports[1]) {
 		t.Error("report differs between parallelism 1 and 4")
+	}
+}
+
+// TestEnginesAgreeFixedAndTuned: sweeping a family-diverse corpus prefix
+// under the walk oracle and the compiled engine must produce identical
+// reports — fixed measurements, oracle verdicts, and every tuned decision
+// — modulo the engine name and the wall/cache counters, on both the fixed
+// and the tuned paths. (The full-corpus fixed-path differential lives in
+// internal/exec; this is the tuned-path differential at harness level.)
+func TestEnginesAgreeFixedAndTuned(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 5
+	}
+	corpus := smallCorpus(t, n)
+	norm := func(r *Report) string {
+		r.Engine = ""
+		r.Summary.SweepWallNs = 0
+		r.Summary.VariantsCompiled = 0
+		r.Summary.CacheHits = 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for _, tuned := range []bool{false, true} {
+		walk, err := Run(Config{Scenarios: corpus, Tune: tuned, Engine: exec.EngineWalk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := Run(Config{Scenarios: corpus, Tune: tuned, Engine: exec.EngineCompile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if walk.Engine != string(exec.EngineWalk) || comp.Engine != string(exec.EngineCompile) {
+			t.Fatalf("engines recorded as %q and %q", walk.Engine, comp.Engine)
+		}
+		if a, b := norm(walk), norm(comp); a != b {
+			t.Errorf("tune=%v: walk and compile reports differ:\n%s\nvs\n%s", tuned, a, b)
+		}
+	}
+}
+
+// TestCompiledSweepRecordsCacheEconomics: a compile-engine sweep must
+// report its variant-cache traffic and wall time in the v5 summary fields,
+// and a second identical sweep must be served from the process-wide cache.
+func TestCompiledSweepRecordsCacheEconomics(t *testing.T) {
+	exec.ResetCache()
+	corpus := smallCorpus(t, 3)
+	rep, err := Run(Config{Scenarios: corpus, Engine: exec.EngineCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 scenarios × (original + transformed) variants.
+	if rep.Summary.VariantsCompiled != 6 {
+		t.Errorf("VariantsCompiled = %d, want 6", rep.Summary.VariantsCompiled)
+	}
+	// Every variant is looked up once per machine: one compile plus
+	// len(machines)-1 hits each.
+	wantHits := int64(6 * (len(plan.DefaultSweep()) - 1))
+	if rep.Summary.CacheHits != wantHits {
+		t.Errorf("CacheHits = %d, want %d", rep.Summary.CacheHits, wantHits)
+	}
+	if rep.Summary.SweepWallNs <= 0 {
+		t.Error("SweepWallNs not recorded")
+	}
+	again, err := Run(Config{Scenarios: corpus, Engine: exec.EngineCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Summary.VariantsCompiled != 0 {
+		t.Errorf("second sweep compiled %d variants, want 0 (process-wide cache)", again.Summary.VariantsCompiled)
+	}
+	walk, err := Run(Config{Scenarios: corpus, Engine: exec.EngineWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk.Summary.VariantsCompiled != 0 || walk.Summary.CacheHits != 0 {
+		t.Errorf("walk sweep touched the variant cache: %+v", walk.Summary)
+	}
+}
+
+// TestMergeRejectsEngineMismatch: shards swept under different engines
+// must not merge — the summed wall/cache counters would be meaningless.
+func TestMergeRejectsEngineMismatch(t *testing.T) {
+	corpus := smallCorpus(t, 2)
+	a, err := Run(Config{Scenarios: corpus[:1], Engine: exec.EngineCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Scenarios: corpus[1:], Engine: exec.EngineWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("merge of mixed-engine shards: %v, want engine mismatch error", err)
 	}
 }
 
@@ -263,6 +366,15 @@ func TestMergeShards(t *testing.T) {
 	merged, err := Merge([]*Report{shards[1], shards[0]})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Wall time and variant-cache traffic are execution facts, not corpus
+	// facts: the shards legitimately spend different wall time and hit the
+	// process-wide cache differently than the unsharded sweep. Everything
+	// else must agree byte for byte.
+	for _, r := range []*Report{whole, merged} {
+		r.Summary.SweepWallNs = 0
+		r.Summary.VariantsCompiled = 0
+		r.Summary.CacheHits = 0
 	}
 	a, _ := json.Marshal(whole)
 	b, _ := json.Marshal(merged)
@@ -565,6 +677,7 @@ func TestMergeRejectsReportLevelMachineMismatch(t *testing.T) {
 	// report-level machine list can catch the mismatch.
 	b := &Report{
 		Schema:   Schema,
+		Engine:   a.Engine,
 		Machines: []string{"hpc-rdma-2019"},
 		Scenarios: []Outcome{{
 			Index: corpus[1].Index, Name: corpus[1].Name, Seed: corpus[1].Seed,

@@ -230,6 +230,75 @@ func (a *Array) CopyIn(off int64, payload interface{}) error {
 	return nil
 }
 
+// Idx1 computes the linear offset of a single-subscript reference without
+// a subscript slice: the rank-1 access, or the F77 sequence-association
+// escape into a multi-dimensional array. Bounds rules and error wording
+// match Linear exactly; the compiled engine uses these fixed-rank forms on
+// its hot path.
+func (a *Array) Idx1(s int64) (int64, error) {
+	if len(a.Dims) != 1 {
+		i := s - a.Dims[0].Lo
+		if i < 0 || a.Offset+i >= a.Store.len() {
+			return 0, fmt.Errorf("array %s: linear subscript %d out of range", a.Name, s)
+		}
+		return i, nil
+	}
+	if s < a.Dims[0].Lo || s > a.Dims[0].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 1 out of bounds %d:%d",
+			a.Name, s, a.Dims[0].Lo, a.Dims[0].Hi)
+	}
+	return (s - a.Dims[0].Lo) * a.strides[0], nil
+}
+
+// Idx2 computes the linear offset of a rank-2 reference (see Idx1).
+func (a *Array) Idx2(s1, s2 int64) (int64, error) {
+	if len(a.Dims) != 2 {
+		return 0, fmt.Errorf("array %s: rank 2 reference to rank-%d array", a.Name, len(a.Dims))
+	}
+	if s1 < a.Dims[0].Lo || s1 > a.Dims[0].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 1 out of bounds %d:%d",
+			a.Name, s1, a.Dims[0].Lo, a.Dims[0].Hi)
+	}
+	if s2 < a.Dims[1].Lo || s2 > a.Dims[1].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 2 out of bounds %d:%d",
+			a.Name, s2, a.Dims[1].Lo, a.Dims[1].Hi)
+	}
+	return (s1-a.Dims[0].Lo)*a.strides[0] + (s2-a.Dims[1].Lo)*a.strides[1], nil
+}
+
+// Idx3 computes the linear offset of a rank-3 reference (see Idx1).
+func (a *Array) Idx3(s1, s2, s3 int64) (int64, error) {
+	if len(a.Dims) != 3 {
+		return 0, fmt.Errorf("array %s: rank 3 reference to rank-%d array", a.Name, len(a.Dims))
+	}
+	if s1 < a.Dims[0].Lo || s1 > a.Dims[0].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 1 out of bounds %d:%d",
+			a.Name, s1, a.Dims[0].Lo, a.Dims[0].Hi)
+	}
+	if s2 < a.Dims[1].Lo || s2 > a.Dims[1].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 2 out of bounds %d:%d",
+			a.Name, s2, a.Dims[1].Lo, a.Dims[1].Hi)
+	}
+	if s3 < a.Dims[2].Lo || s3 > a.Dims[2].Hi {
+		return 0, fmt.Errorf("array %s: subscript %d of dimension 3 out of bounds %d:%d",
+			a.Name, s3, a.Dims[2].Lo, a.Dims[2].Hi)
+	}
+	return (s1-a.Dims[0].Lo)*a.strides[0] + (s2-a.Dims[1].Lo)*a.strides[1] +
+		(s3-a.Dims[2].Lo)*a.strides[2], nil
+}
+
+// RawGet reads the element at linear offset off (0-based within the view)
+// without bounds-adjusting subscripts — the raw access MPI_WAITALL uses to
+// walk a request-handle array. Exported for the compiled engine.
+func (a *Array) RawGet(off int64) Value { return a.Store.get(a.Offset + off) }
+
+// RawSet writes the element at linear offset off within the view (see
+// RawGet).
+func (a *Array) RawSet(off int64, v Value) { a.Store.set(a.Offset+off, v) }
+
+// Kind returns the element kind of the backing storage.
+func (a *Array) Kind() Kind { return a.Store.kind }
+
 // Snapshot copies the whole view's contents as []Value-free raw data for
 // equivalence checks.
 func (a *Array) Snapshot() interface{} {

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/ftn"
@@ -156,17 +157,45 @@ func (m *machine) evalIntrinsic(fr *frame, e *ftn.Ref) (Value, error) {
 		args[i] = v
 	}
 	m.charge(m.costs.Op)
-	bad := func() (Value, error) {
-		return Value{}, rte(e.Pos(), "bad arguments to intrinsic %s", e.Name)
+	if e.Name == "mpi_wtime" {
+		return RealVal(m.rank.Now().Seconds()), nil
 	}
-	switch e.Name {
+	v, err := EvalIntrinsic(e.Name, args)
+	if err != nil {
+		return Value{}, rte(e.Pos(), "%v", err)
+	}
+	return v, nil
+}
+
+// IsIntrinsic reports whether name is a supported intrinsic function
+// (mpi_wtime included). Compiled engines use it to classify references at
+// compile time the way evalRef classifies them at run time.
+func IsIntrinsic(name string) bool {
+	switch name {
+	case "mod", "min", "max", "abs", "int", "real", "dble", "float", "nint",
+		"sqrt", "exp", "log", "sin", "cos", "iand", "ior", "ieor", "ishft",
+		"mpi_wtime":
+		return true
+	}
+	return false
+}
+
+// EvalIntrinsic applies the named intrinsic to already-evaluated arguments.
+// It is the single definition of intrinsic semantics, shared by the
+// tree-walking interpreter and the compiled engine. mpi_wtime is excluded
+// (it reads the rank clock, which lives with the caller).
+func EvalIntrinsic(name string, args []Value) (Value, error) {
+	bad := func() (Value, error) {
+		return Value{}, fmt.Errorf("bad arguments to intrinsic %s", name)
+	}
+	switch name {
 	case "mod":
 		if len(args) != 2 {
 			return bad()
 		}
 		if args[0].Kind == KInt && args[1].Kind == KInt {
 			if args[1].I == 0 {
-				return Value{}, rte(e.Pos(), "mod by zero")
+				return Value{}, fmt.Errorf("mod by zero")
 			}
 			return IntVal(args[0].I % args[1].I), nil
 		}
@@ -276,8 +305,6 @@ func (m *machine) evalIntrinsic(fr *frame, e *ftn.Ref) (Value, error) {
 			return IntVal(args[0].AsInt() << uint(sh)), nil
 		}
 		return IntVal(args[0].AsInt() >> uint(-sh)), nil
-	case "mpi_wtime":
-		return RealVal(m.rank.Now().Seconds()), nil
 	}
-	return Value{}, rte(e.Pos(), "unknown array or intrinsic %q", e.Name)
+	return Value{}, fmt.Errorf("unknown array or intrinsic %q", name)
 }

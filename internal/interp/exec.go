@@ -99,6 +99,30 @@ func dtypeBytes(v int64) (int64, bool) {
 	return 0, false
 }
 
+// MPIConstant resolves a predefined MPI named constant (exported so the
+// compiled engine binds against the same table).
+func MPIConstant(name string) (int64, bool) {
+	v, ok := mpiConsts[name]
+	return v, ok
+}
+
+// DTypeBytes is the exported datatype-size table.
+func DTypeBytes(v int64) (int64, bool) { return dtypeBytes(v) }
+
+// KindOf maps a declared base type to its runtime kind (exported for the
+// compiled engine's declaration lowering).
+func KindOf(b ftn.BaseType) Kind { return kindOf(b) }
+
+// ZeroOf returns the zero value of a kind (exported).
+func ZeroOf(k Kind) Value { return zeroOf(k) }
+
+// CoerceDecl converts an initializer to the declared base type (exported).
+func CoerceDecl(b ftn.BaseType, v Value) Value { return coerceDecl(b, v) }
+
+// CoerceStore converts v to the kind of the existing slot value (exported;
+// the compiled engine's scalar stores go through the same conversion).
+func CoerceStore(old, v Value) Value { return coerceStore(old, v) }
+
 // newFrame builds and initializes an activation for unit. For subroutines,
 // bindScal/bindArr carry the dummy-argument bindings established by the
 // caller (scalar aliases and array views).

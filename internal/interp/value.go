@@ -206,3 +206,14 @@ func formatPrintLine(vals []Value) string {
 	}
 	return strings.Join(parts, " ")
 }
+
+// FormatPrintLine is the exported PRINT formatter, shared with the compiled
+// engine so both produce byte-identical output lines.
+func FormatPrintLine(vals []Value) string { return formatPrintLine(vals) }
+
+// NumericBinop applies an arithmetic operator with Fortran promotion rules
+// (the exported form the compiled engine lowers Binary nodes onto).
+func NumericBinop(op string, a, b Value) (Value, error) { return numericBinop(op, a, b) }
+
+// Compare applies a relational operator (exported for the compiled engine).
+func Compare(op string, a, b Value) (Value, error) { return compare(op, a, b) }

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/plan"
 )
@@ -75,6 +76,10 @@ type Options struct {
 	// KOnly restricts the search to tile sizes (uniform and per-site),
 	// skipping the non-K knob flips — kept for ablation comparisons.
 	KOnly bool
+	// Engine selects the execution engine for every measured run; ""
+	// means exec.Default (the compiled engine, whose process-wide variant
+	// cache makes revisiting a candidate across machines nearly free).
+	Engine exec.Engine
 }
 
 // Candidate is one evaluated whole-plan decision vector under one machine.
@@ -151,6 +156,10 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	if len(arrays) == 0 {
 		arrays = []string{"ar"}
 	}
+	engine, err := exec.Resolve(string(opts.Engine))
+	if err != nil {
+		return nil, fmt.Errorf("tune: %v", err)
+	}
 
 	prog := in.Program
 	if prog == nil {
@@ -180,7 +189,7 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 
 	var choices []Choice
 	for _, m := range in.Machines {
-		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly)
+		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly, engine)
 		if err != nil {
 			return nil, err
 		}
@@ -235,6 +244,7 @@ type search struct {
 	sites   []siteState
 	arrays  []string
 	maxM    int
+	engine  exec.Engine
 
 	orig   *interp.Result
 	origNs int64
@@ -250,15 +260,16 @@ type search struct {
 // search, and the best-uniform baseline), then coordinate descent across
 // the sites.
 func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState,
-	uniformLadder []int64, arrays []string, maxM int, kOnly bool) (Choice, error) {
+	uniformLadder []int64, arrays []string, maxM int, kOnly bool, engine exec.Engine) (Choice, error) {
 
-	orig, err := simulate(in.Source, in.NP, m)
+	orig, err := simulate(in.Source, in.NP, m, engine)
 	if err != nil {
 		return Choice{}, fmt.Errorf("tune: original run under %s: %w", m.Name, err)
 	}
 	s := &search{
 		prog: prog, in: in, machine: m, sites: sites, arrays: arrays, maxM: maxM,
-		orig: orig, origNs: int64(orig.Elapsed()),
+		engine: engine,
+		orig:   orig, origNs: int64(orig.Elapsed()),
 		measured: map[string]*Candidate{}, bySrc: map[string]*Candidate{},
 	}
 
@@ -486,7 +497,7 @@ func (s *search) evaluate(ds []plan.Decision, seeded bool) *Candidate {
 		return nil
 	}
 	s.runs++
-	res, err := simulate(src, s.in.NP, s.machine)
+	res, err := simulate(src, s.in.NP, s.machine, s.engine)
 	if err != nil {
 		s.measured[key] = nil
 		return nil
@@ -649,15 +660,10 @@ func (s *search) best() *Candidate {
 	return best
 }
 
-// simulate loads and runs one variant on the virtual cluster under the
-// machine's CPU cost model and network profile.
-func simulate(src string, np int, m plan.Machine) (*interp.Result, error) {
-	prog, err := interp.Load(src)
-	if err != nil {
-		return nil, err
-	}
-	prog.Costs = m.Costs
-	return prog.Run(np, m.Profile)
+// simulate runs one variant on the virtual cluster under the machine's CPU
+// cost model and network profile, through the selected execution engine.
+func simulate(src string, np int, m plan.Machine, engine exec.Engine) (*interp.Result, error) {
+	return engine.Run(src, np, m.Costs, m.Profile)
 }
 
 // sortedKeys returns the map's keys in ascending order.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/plan"
 	"repro/internal/workload"
@@ -313,7 +314,7 @@ func TestPerSiteDivergenceBeatsUniform(t *testing.T) {
 		if m == nil {
 			t.Fatalf("machine %s not found", c.Machine)
 		}
-		res, err := simulate(src, sc.NP, *m)
+		res, err := simulate(src, sc.NP, *m, exec.Default)
 		if err != nil {
 			t.Fatalf("%s: replayed plan does not run: %v", c.Machine, err)
 		}
