@@ -11,6 +11,7 @@
 //	              [-engine compile|walk]
 //	              [-wait deferred|per-tile] [-send-order staggered|sequential]
 //	              [-interchange auto|on|off] [-interchange-min-bytes N]
+//	              [-skip-sites line:col,...|all]
 //	              [-plan out.json] [-apply-plan in.json]
 //	              [-answer proc:array=yes,...] [input.f90]
 //
@@ -19,7 +20,10 @@
 // was applied (with one site entry per analyzed MPI_ALLTOALL, so it can be
 // edited per site and replayed with -apply-plan; "-" dumps to stdout in
 // place of the transformed source). -apply-plan replays a previously
-// dumped plan verbatim, ignoring the knob flags. With -verify, both the
+// dumped plan verbatim, ignoring the knob flags. -skip-sites marks the
+// named sites (or "all") as identity decisions — the transformation is
+// declined there and the site's code is left byte-for-byte untouched; a
+// plan file can express the same thing with "skip": true per decision. With -verify, both the
 // original and the transformed program are executed on the simulated
 // cluster under the selected machine models and their observable results
 // compared (the paper's §4 correctness protocol); a mismatch is a fatal
@@ -55,6 +59,7 @@ func main() {
 	interchangeMin := flag.Int64("interchange-min-bytes", 0, "auto-gate threshold in bytes (0 = default 2048)")
 	planOut := flag.String("plan", "", "dump the applied plan as JSON to this path ('-' = stdout, replacing the source)")
 	planIn := flag.String("apply-plan", "", "replay a plan JSON file instead of building one from flags")
+	skipSites := flag.String("skip-sites", "", "comma-separated 'line:col' sites to leave untransformed ('all' skips every site)")
 	answers := flag.String("answer", "", "semi-automatic oracle answers, e.g. 'fill:as=yes,trash:as=no'")
 	flag.Parse()
 
@@ -126,6 +131,25 @@ func main() {
 		for i := range prog.Sites {
 			pl.Set(prog.Sites[i].Key(), pl.Default)
 		}
+		// -skip-sites marks the named sites (or all of them) as identity
+		// decisions: the transformation is advice, and "don't" is a
+		// first-class per-site choice.
+		if *skipSites != "" {
+			for _, site := range strings.Split(*skipSites, ",") {
+				site = strings.TrimSpace(site)
+				if site == "all" {
+					for i := range prog.Sites {
+						pl.Set(prog.Sites[i].Key(), plan.Identity())
+					}
+					pl.Default = plan.Identity()
+					continue
+				}
+				if prog.Site(site) == nil {
+					fatal(fmt.Errorf("-skip-sites: site %q not found in the program (have %s)", site, siteList(prog)))
+				}
+				pl.Set(site, plan.Identity())
+			}
+		}
 		if err := pl.Validate(); err != nil {
 			fatal(err)
 		}
@@ -166,9 +190,20 @@ func main() {
 	if !*report && *planOut != "-" {
 		fmt.Print(out)
 	}
-	if rep.TransformedCount() == 0 {
+	// Exit 2 signals "the transformation did not fire" — but a site skipped
+	// by plan is a deliberate identity decision, not a failure to fire.
+	if rep.TransformedCount() == 0 && rep.SkippedCount() == 0 {
 		os.Exit(2)
 	}
+}
+
+// siteList renders the program's analyzed site keys for error messages.
+func siteList(prog *core.Program) string {
+	var keys []string
+	for i := range prog.Sites {
+		keys = append(keys, prog.Sites[i].Key())
+	}
+	return strings.Join(keys, ", ")
 }
 
 // verifyEquivalence runs both versions on the simulated cluster under the

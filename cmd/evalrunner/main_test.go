@@ -55,7 +55,10 @@ func TestValidateFlags(t *testing.T) {
 // TestOffloadGates: the aggregate overlap gate keys on the measured
 // blocked share — a machine with reclaimable blocked time must gain, an
 // already-overlapped machine (hpc-rdma-2019 class) is held to the no-harm
-// floor and, in tuned sweeps, to tuned break-even.
+// floor at the fixed K. Tuned geomeans are held to the exact ≥ 1.0 gate on
+// every machine: with the identity plan in plan space, tuning can never
+// lose, so any tuned geomean below 1.0 is a broken invariant regardless of
+// strictness.
 func TestOffloadGates(t *testing.T) {
 	mk := func(ps ...harness.ProfileSummary) *harness.Report {
 		return &harness.Report{Schema: harness.Schema, Summary: harness.Summary{
@@ -77,12 +80,14 @@ func TestOffloadGates(t *testing.T) {
 			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, OriginalBlockedFrac: 0.002}},
 		{name: "overlapped machine below no-harm floor", want: false,
 			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.85, OriginalBlockedFrac: 0.002}},
-		{name: "overlapped machine tuned recovers", tuned: true, strict: true, want: true,
+		{name: "overlapped machine tuned at break-even", tuned: true, strict: true, want: true,
+			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 1.0, OriginalBlockedFrac: 0.002}},
+		{name: "overlapped machine tuned below 1.0 fails", tuned: true, strict: true, want: false,
 			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.99, OriginalBlockedFrac: 0.002}},
-		{name: "overlapped machine tuned below recovery floor", tuned: true, strict: true, want: false,
+		{name: "tuned below 1.0 fails even off the full corpus", tuned: true, want: false,
 			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.96, OriginalBlockedFrac: 0.002}},
-		{name: "recovery floor waived off the full corpus", tuned: true, want: true,
-			ps: harness.ProfileSummary{Profile: "rdma", Offload: true, Geomean: 0.95, TunedGeomean: 0.96, OriginalBlockedFrac: 0.002}},
+		{name: "tuned below 1.0 fails on non-offload machines too", tuned: true, want: false,
+			ps: harness.ProfileSummary{Profile: "tcp", Offload: false, Geomean: 0.97, TunedGeomean: 0.98, OriginalBlockedFrac: 0.3}},
 		{name: "non-offload machine ungated", want: true,
 			ps: harness.ProfileSummary{Profile: "tcp", Offload: false, Geomean: 0.7, OriginalBlockedFrac: 0.3}},
 	}

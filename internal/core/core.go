@@ -214,7 +214,9 @@ func Apply(p *Program, pl *plan.Plan) (string, *Report, error) {
 	p.mu.Lock()
 	if r, ok := p.memo[key]; ok {
 		p.mu.Unlock()
-		return r.src, r.rep, r.err
+		// Memo hits (and the miss below) return a defensive copy of the
+		// report: the stored one must stay pristine for later callers.
+		return r.src, r.rep.clone(), r.err
 	}
 	p.mu.Unlock()
 
@@ -222,12 +224,21 @@ func Apply(p *Program, pl *plan.Plan) (string, *Report, error) {
 	rep, err := applyPlan(clone, pl, p.opts)
 	r := applied{rep: rep, err: err}
 	if err == nil {
-		r.src = ftn.Print(clone)
+		if rep.TransformedCount() == 0 {
+			// Nothing was rewritten — a skip-all plan, or a program whose
+			// sites all rejected. Emit the original bytes rather than a
+			// reprint of the untouched clone: the skip-all variant is then
+			// byte-identical to the input, so its source hash collapses to
+			// the original's and the exec variant cache hits for free.
+			r.src = p.src
+		} else {
+			r.src = ftn.Print(clone)
+		}
 	}
 	p.mu.Lock()
 	p.memo[key] = r
 	p.mu.Unlock()
-	return r.src, r.rep, r.err
+	return r.src, r.rep.clone(), r.err
 }
 
 // siteKeys lists the analyzed sites' plan keys in program order.
@@ -267,8 +278,12 @@ func Transform(src string, opts Options) (string, *Report, error) {
 type SiteReport struct {
 	Pos         ftn.Pos
 	Transformed bool
-	Pattern     analysis.Pattern
-	NodeCase    analysis.NodeLoopCase
+	// Skipped marks a site the plan declined (Decision.Skip): the site was
+	// transformable but deliberately left untouched — distinct from a
+	// rejection, where the transformation could not fire.
+	Skipped  bool
+	Pattern  analysis.Pattern
+	NodeCase analysis.NodeLoopCase
 	// Decision is the (normalized) plan decision applied to the site.
 	Decision plan.Decision
 	Result   *transform.Result
@@ -296,6 +311,40 @@ func (r *Report) TransformedCount() int {
 	return n
 }
 
+// SkippedCount returns the number of sites the plan declined to transform.
+func (r *Report) SkippedCount() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// clone returns a defensive copy of the report: Apply memoizes reports and
+// hands them to concurrent callers, so sharing the stored pointer would let
+// one caller's mutation race another's read. Site slices, results, and note
+// slices are all copied; nested pointers in transform.Result do not exist
+// (it is a flat struct plus a Notes slice).
+func (r *Report) clone() *Report {
+	if r == nil {
+		return nil
+	}
+	out := &Report{Sites: make([]SiteReport, len(r.Sites))}
+	copy(out.Sites, r.Sites)
+	for i := range out.Sites {
+		s := &out.Sites[i]
+		s.Notes = append([]string(nil), s.Notes...)
+		if s.Result != nil {
+			res := *s.Result
+			res.Notes = append([]string(nil), res.Notes...)
+			s.Result = &res
+		}
+	}
+	return out
+}
+
 // FirstRejection returns the first rejection reason in the report, or ""
 // when every site transformed. Harness code uses it to explain why a
 // scenario's transformation did not fire.
@@ -321,9 +370,15 @@ func (r *Report) AnyInterchanged() bool {
 
 // String renders a human-readable summary.
 func (r *Report) String() string {
-	out := fmt.Sprintf("compuniformer: %d site(s), %d transformed\n", len(r.Sites), r.TransformedCount())
+	out := fmt.Sprintf("compuniformer: %d site(s), %d transformed", len(r.Sites), r.TransformedCount())
+	if n := r.SkippedCount(); n > 0 {
+		out += fmt.Sprintf(", %d skipped by plan", n)
+	}
+	out += "\n"
 	for _, s := range r.Sites {
-		if s.Transformed {
+		if s.Skipped {
+			out += fmt.Sprintf("  %s: skipped by plan (%s pattern, node loop %s)\n", s.Pos, s.Pattern, s.NodeCase)
+		} else if s.Transformed {
 			res := s.Result
 			out += fmt.Sprintf("  %s: transformed (%s pattern, node loop %s, K=%d, NP=%d, %d msgs/tile)\n",
 				s.Pos, s.Pattern, s.NodeCase, res.K, res.NP, res.MessagesTile)
@@ -379,6 +434,20 @@ func applyPlan(file *ftn.File, pl *plan.Plan, opts AnalyzeOptions) (*Report, err
 		pos := op.Call.Stmt.Pos()
 		dec := pl.For(pos.String())
 		legal, blockElems := op.InterchangeOK, op.InterchangeBlockElems
+
+		if dec.Skip {
+			// The plan declines this site: leave the AST untouched. The
+			// position is remembered like a rejection so the finder loop
+			// moves past it, but the report distinguishes "skipped by plan"
+			// from "transformation cannot fire".
+			rejected[pos] = true
+			report.Sites = append(report.Sites, SiteReport{
+				Pos: pos, Skipped: true, Pattern: op.Pattern, NodeCase: op.NodeCase,
+				Reason: "skipped by plan", Decision: dec, Notes: op.Notes,
+				InterchangeLegal: legal, InterchangeBlockElems: blockElems,
+			})
+			continue
+		}
 
 		interchanged := false
 		if op.Pattern == analysis.PatternDirect &&

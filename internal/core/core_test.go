@@ -1,13 +1,17 @@
 package core_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/ftn"
 	"repro/internal/interp"
 	"repro/internal/netsim"
@@ -377,12 +381,60 @@ func TestApplyMatchesTransform(t *testing.T) {
 			t.Errorf("K=%d: transformed %d sites, want %d", k, grep.TransformedCount(), wrep.TransformedCount())
 		}
 	}
-	// Memoization: an equivalent plan returns the identical report pointer.
+	// Memoization: an equivalent plan hits the memo, but each caller gets
+	// its own defensive report copy — never the stored pointer (a shared
+	// pointer would let one caller's mutation race another's read).
 	_, r1, _ := core.Apply(prog, core.Options{K: 4}.Plan())
 	_, r2, _ := core.Apply(prog, plan.Uniform(plan.Decision{K: 4}))
-	if r1 != r2 {
-		t.Error("apply memo did not hit on an equivalent plan")
+	if r1 == r2 {
+		t.Error("apply memo returned the same *Report pointer to two callers")
 	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("apply memo hit is not value-equal to the stored report")
+	}
+	// Mutating a hit must not leak into later hits.
+	r1.Sites[0].Reason = "mutated by caller"
+	r1.Sites[0].Result.K = -1
+	r1.Sites[0].Notes = append(r1.Sites[0].Notes, "caller note")
+	_, r3, _ := core.Apply(prog, plan.Uniform(plan.Decision{K: 4}))
+	if !reflect.DeepEqual(r2, r3) {
+		t.Error("mutating a memo hit leaked into a later hit")
+	}
+}
+
+// TestApplyMemoHitsAreRaceFree: concurrent callers of a memoized plan may
+// each mutate their own report copy; under -race this proves hits do not
+// share mutable state.
+func TestApplyMemoHitsAreRaceFree(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Uniform(plan.Decision{K: 4})
+	if _, _, err := core.Apply(prog, pl); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, rep, err := core.Apply(prog, pl)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Each caller scribbles on its copy; the race detector
+				// flags any sharing with other workers' copies.
+				rep.Sites[0].Reason = fmt.Sprintf("worker %d iter %d", w, i)
+				rep.Sites[0].Result.Notes = append(rep.Sites[0].Result.Notes, "scribble")
+				rep.Sites[0].Result.K = int64(i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // TestApplyRejectsBadPlans: an invalid plan is an error; a K the
@@ -467,6 +519,108 @@ func TestPlanKnobsChangeCodegen(t *testing.T) {
 	}
 	if rep.Sites[0].Decision.K != 8 {
 		t.Errorf("report decision K=%d, want 8", rep.Sites[0].Decision.K)
+	}
+}
+
+// TestSkipAllByteIdentical: a plan that skips every site is the identity —
+// Apply hands back the original source byte-for-byte (not a print∘parse
+// approximation of it), reports every site as skipped, and the exec variant
+// cache therefore hits on the original's hash instead of compiling a
+// second artifact.
+func TestSkipAllByteIdentical(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := core.Apply(prog, plan.Uniform(plan.Identity()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != src {
+		t.Error("skip-all variant is not byte-identical to the original source")
+	}
+	if rep.TransformedCount() != 0 {
+		t.Errorf("skip-all transformed %d sites:\n%s", rep.TransformedCount(), rep)
+	}
+	if rep.SkippedCount() != len(prog.Sites) {
+		t.Errorf("skipped %d of %d sites:\n%s", rep.SkippedCount(), len(prog.Sites), rep)
+	}
+	for _, sr := range rep.Sites {
+		if !sr.Skipped || !sr.Decision.Skip {
+			t.Errorf("site %s report not marked skipped: %+v", sr.Pos, sr)
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "skipped by plan") {
+		t.Errorf("report does not say skipped by plan:\n%s", s)
+	}
+
+	// The byte identity is what makes skip free at execution time: compiling
+	// the original then the skip-all variant is one compile and one hit.
+	exec.ResetCache()
+	if _, err := exec.CompileCached(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.CompileCached(out); err != nil {
+		t.Fatal(err)
+	}
+	if st := exec.Stats(); st.Compiled != 1 || st.Hits != 1 {
+		t.Errorf("cache stats %+v, want 1 compiled + 1 hit on the original's hash", st)
+	}
+}
+
+// TestMixedSkipTransformDifferential: on a multi-site program, a plan that
+// skips one site and transforms the other must leave the skipped call
+// untouched, rewrite the other, and still run bit-identically to the
+// original (the §4 protocol, with the tree-walking interpreter as oracle).
+func TestMixedSkipTransformDifferential(t *testing.T) {
+	src := workload.MultiSource(workload.MultiParams{
+		NX: 256, M: 16, NY: 8, SZ: 8, NP: 4,
+	})
+	prog, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.TransformableCount() != 2 {
+		t.Fatalf("transformable sites = %d, want 2", prog.TransformableCount())
+	}
+	pl := plan.Uniform(plan.Decision{K: 4})
+	pl.Set(prog.Sites[0].Key(), plan.Identity())
+	pl.Set(prog.Sites[1].Key(), plan.Decision{K: 8}.Normalize())
+	out, rep, err := core.Apply(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransformedCount() != 1 || rep.SkippedCount() != 1 {
+		t.Fatalf("transformed %d, skipped %d, want 1 and 1:\n%s",
+			rep.TransformedCount(), rep.SkippedCount(), rep)
+	}
+	// Exactly one original alltoall call survives — the skipped one.
+	if n := strings.Count(out, "call mpi_alltoall"); n != 1 {
+		t.Errorf("%d original alltoall calls in output, want exactly 1 (the skipped site)", n)
+	}
+	if out == src {
+		t.Error("mixed plan changed nothing")
+	}
+	// Differential run against the original.
+	orig, err := interp.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := interp.Load(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	ro, err := orig.Run(4, netsim.MPICHGM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mixed.Run(4, netsim.MPICHGM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, why := interp.SameObservable(ro, rt, "ar", "br"); !same {
+		t.Errorf("mixed skip/transform rewrite changed results: %s", why)
 	}
 }
 

@@ -14,7 +14,8 @@ import (
 // committed full-corpus artifact, and corpus growth does not break older
 // baselines. Both the fixed and (when both sides tuned) the tuned geomeans
 // must stay within rel tolerance tol of the baseline; improvements never
-// fail.
+// fail. A tuned sweep whose profile has tuned numbers in the baseline but
+// none in the sweep is reported as lost tuned coverage, not a pass.
 func CompareBaseline(cur, base *Report, tol float64) []string {
 	type key struct {
 		index int
@@ -42,6 +43,16 @@ func CompareBaseline(cur, base *Report, tol float64) []string {
 	}
 	curSum := summarize(curSub)
 	baseSum := summarize(baseSub)
+	// Tuned geomeans are compared only when the sweep itself ran in tuned
+	// mode: a fixed-only sweep gating against a tuned baseline is a
+	// legitimate ablation, not lost coverage.
+	curTuned := false
+	for _, o := range curSub {
+		if len(o.Tuned) > 0 {
+			curTuned = true
+			break
+		}
+	}
 
 	baseFor := map[string]ProfileSummary{}
 	for _, ps := range baseSum.PerProfile {
@@ -71,10 +82,21 @@ func CompareBaseline(cur, base *Report, tol float64) []string {
 				"baseline: %s fixed geomean %.4f below baseline %.4f (tolerance %.1f%%, %d shared scenarios)",
 				ps.Profile, ps.Geomean, bs.Geomean, tol*100, len(curSub)))
 		}
-		if bs.TunedGeomean > 0 && ps.TunedGeomean > 0 && ps.TunedGeomean < bs.TunedGeomean*(1-tol) {
-			violations = append(violations, fmt.Sprintf(
-				"baseline: %s tuned geomean %.4f below baseline %.4f (tolerance %.1f%%, %d shared scenarios)",
-				ps.Profile, ps.TunedGeomean, bs.TunedGeomean, tol*100, len(curSub)))
+		if bs.TunedGeomean > 0 && curTuned {
+			switch {
+			case ps.TunedGeomean == 0:
+				// The baseline has tuned numbers for this profile but the
+				// sweep produced none — a silent pass here would let a
+				// change that breaks tuning (or drops tuned rows) ship as
+				// "no regression".
+				violations = append(violations, fmt.Sprintf(
+					"baseline: %s tuned coverage lost — baseline has tuned geomean %.4f but the sweep produced no tuned measurements for this profile",
+					ps.Profile, bs.TunedGeomean))
+			case ps.TunedGeomean < bs.TunedGeomean*(1-tol):
+				violations = append(violations, fmt.Sprintf(
+					"baseline: %s tuned geomean %.4f below baseline %.4f (tolerance %.1f%%, %d shared scenarios)",
+					ps.Profile, ps.TunedGeomean, bs.TunedGeomean, tol*100, len(curSub)))
+			}
 		}
 	}
 	sort.Strings(violations)
@@ -94,6 +116,10 @@ func (r *Report) MarkdownSummary(title string) string {
 	}
 	if r.Summary.DivergentPlans > 0 {
 		fmt.Fprintf(&sb, ", %d divergent plan(s)", r.Summary.DivergentPlans)
+	}
+	if r.Summary.SkippedSites > 0 {
+		fmt.Fprintf(&sb, ", %d skipped site(s), %d identity plan(s)",
+			r.Summary.SkippedSites, r.Summary.IdentityPlans)
 	}
 	sb.WriteString("\n\n")
 	tuned := false

@@ -10,6 +10,7 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -28,13 +29,16 @@ import (
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout. v5 puts the sweep on the
-// compiled execution engine: the report records which engine ran it
-// ("compile" or the tree-walking oracle "walk"), and the summary carries
-// the engine-economics counters — variants_compiled and cache_hits from
-// the process-wide compiled-variant cache, and sweep_wall_ns, the
-// scheduler's wall-clock cost — next to the v4 per-site tuning fields.
-const Schema = "repro/bench-harness/v5"
+// Schema identifies the JSON artifact layout. v6 makes "don't transform"
+// a first-class per-site decision: tuned rows carry `skip` inside their
+// per-site decisions (a skipped site is left byte-identical to the
+// original), and the summary gains skipped_sites (total skip decisions
+// across tuned rows) and identity_plans (tuned rows whose plan skips every
+// site — the tuner concluded the best plan is the identity). With skip in
+// plan space, every tuned speedup is ≥ 1.0 by construction. v5 added the
+// execution-engine fields (engine, variants_compiled, cache_hits,
+// sweep_wall_ns) on top of the v4 per-site tuning fields.
+const Schema = "repro/bench-harness/v6"
 
 // Config parameterizes one sweep.
 type Config struct {
@@ -127,7 +131,9 @@ type Outcome struct {
 
 // TunedRun is one (scenario, machine) plan-search result. Every candidate
 // the search measured passed the same bit-identical oracle as the fixed-K
-// run; the chosen plan is always at least as fast as the fixed K.
+// run; the chosen plan is always at least as fast as the fixed K *and* as
+// the original program (the identity plan — every site skipped — is always
+// in the candidate set, so TunedSpeedup ≥ 1.0 by construction).
 type TunedRun struct {
 	Profile string `json:"profile"`
 	Offload bool   `json:"offload"`
@@ -160,6 +166,24 @@ type TunedSite struct {
 	SeedKs   []int64       `json:"seed_ks,omitempty"`
 }
 
+// skipCounts returns (skipped sites, total sites) of the chosen plan.
+// Single-site rows that predate per-site entries fall back to the headline
+// decision.
+func (tr *TunedRun) skipCounts() (skips, sites int) {
+	if len(tr.Sites) == 0 {
+		if tr.Plan.Normalize().Skip {
+			return 1, 1
+		}
+		return 0, 1
+	}
+	for _, ts := range tr.Sites {
+		if ts.Decision.Normalize().Skip {
+			skips++
+		}
+	}
+	return skips, len(tr.Sites)
+}
+
 // Summary aggregates a sweep.
 type Summary struct {
 	Scenarios int `json:"scenarios"`
@@ -189,6 +213,14 @@ type Summary struct {
 	// decisions to different MPI_ALLTOALL sites of one program — the signal
 	// that the per-site search is finding wins no uniform plan can express.
 	DivergentPlans int `json:"divergent_plans"`
+	// SkippedSites counts per-site skip decisions across all tuned rows:
+	// sites where the tuner concluded the paper's transformation should not
+	// fire at all.
+	SkippedSites int `json:"skipped_sites"`
+	// IdentityPlans counts tuned rows whose chosen plan skips every site —
+	// the whole program is best left untransformed on that machine. These
+	// rows pin the tuned speedup at exactly 1.0 (the never-lose floor).
+	IdentityPlans int `json:"identity_plans"`
 	// VariantsCompiled and CacheHits are this sweep's traffic against the
 	// process-wide compiled-variant cache (zero under the walk engine):
 	// distinct (program, plan) variants compiled vs. lookups served by an
@@ -640,7 +672,14 @@ func Merge(reports []*Report) (*Report, error) {
 	return rep, nil
 }
 
-// ReadJSON loads a report artifact and checks its schema.
+// ErrSchema marks an artifact whose schema does not match this binary's —
+// callers can errors.Is it to distinguish a stale artifact from a corrupt
+// one and explain how to regenerate.
+var ErrSchema = errors.New("artifact schema mismatch")
+
+// ReadJSON loads a report artifact and checks its schema. A foreign schema
+// returns an error wrapping ErrSchema rather than a zero-valued report, so
+// a pre-v6 artifact can never be silently compared as zeros.
 func ReadJSON(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -651,7 +690,7 @@ func ReadJSON(path string) (*Report, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+		return nil, fmt.Errorf("%s: schema %q, want %q: %w", path, rep.Schema, Schema, ErrSchema)
 	}
 	return &rep, nil
 }
@@ -720,6 +759,11 @@ func summarize(outcomes []Outcome) Summary {
 			}
 			if tr.Divergent {
 				s.DivergentPlans++
+			}
+			skips, sites := tr.skipCounts()
+			s.SkippedSites += skips
+			if sites > 0 && skips == sites {
+				s.IdentityPlans++
 			}
 		}
 		if gained {
@@ -831,6 +875,10 @@ func (r *Report) Table() string {
 	if r.Summary.DivergentPlans > 0 {
 		fmt.Fprintf(&sb, "%d tuned plan(s) diverge across sites\n", r.Summary.DivergentPlans)
 	}
+	if r.Summary.SkippedSites > 0 {
+		fmt.Fprintf(&sb, "%d site decision(s) skip the transformation (%d identity plan(s))\n",
+			r.Summary.SkippedSites, r.Summary.IdentityPlans)
+	}
 	for _, ps := range r.Summary.PerProfile {
 		fmt.Fprintf(&sb, "geomean speedup %-14s %.3f", ps.Profile, ps.Geomean)
 		if ps.TunedGeomean > 0 {
@@ -858,9 +906,13 @@ func describeTuned(tr *TunedRun) string {
 }
 
 // describePlan renders a decision compactly for the table, e.g.
-// "K=8" or "K=8+per-tile+seq+int:off".
+// "K=8", "K=8+per-tile+seq+int:off", or "K=skip" for a declined site (so a
+// mixed multi-site plan reads "K=skip|K=64").
 func describePlan(d plan.Decision) string {
 	d = d.Normalize()
+	if d.Skip {
+		return "K=skip"
+	}
 	s := fmt.Sprintf("K=%d", d.K)
 	if d.Wait == plan.WaitPerTile {
 		s += "+per-tile"

@@ -310,8 +310,21 @@ func TestTunedSweep(t *testing.T) {
 			if tr.Profile != pr.Profile || tr.Offload != pr.Offload {
 				t.Errorf("%s: tuned row %d mismatched profile metadata", o.Name, i)
 			}
-			if tr.ChosenK < 1 || tr.Plan.K != tr.ChosenK {
+			if tr.Plan.Normalize().Skip {
+				// An identity plan declines the transformation: no tile
+				// size to report, and the tuned run is the original.
+				if tr.ChosenK != 0 {
+					t.Errorf("%s/%s: identity plan with chosen_k %d, want 0", o.Name, tr.Profile, tr.ChosenK)
+				}
+				if tr.TunedSpeedup != 1.0 {
+					t.Errorf("%s/%s: identity plan with tuned speedup %.4f, want exactly 1.0", o.Name, tr.Profile, tr.TunedSpeedup)
+				}
+			} else if tr.ChosenK < 1 || tr.Plan.K != tr.ChosenK {
 				t.Errorf("%s/%s: chosen plan %+v vs chosen_k %d", o.Name, tr.Profile, tr.Plan, tr.ChosenK)
+			}
+			if tr.TunedSpeedup < 1.0 {
+				t.Errorf("%s/%s: tuned speedup %.4f below 1.0 — identity plan should have won",
+					o.Name, tr.Profile, tr.TunedSpeedup)
 			}
 			if err := tr.Plan.Validate(); err != nil {
 				t.Errorf("%s/%s: chosen plan invalid: %v", o.Name, tr.Profile, err)

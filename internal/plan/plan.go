@@ -68,8 +68,16 @@ const (
 )
 
 // Decision is the per-site knob vector: everything the transformation lets
-// a caller (or tuner) choose about one MPI_ALLTOALL site.
+// a caller (or tuner) choose about one MPI_ALLTOALL site — including the
+// decision not to transform it at all.
 type Decision struct {
+	// Skip declines the transformation for this site: the paper's rewrite
+	// is advice, not a mandate, and the identity plan is a first-class
+	// member of plan space. A skipped site is left byte-for-byte untouched
+	// by Apply, and every other knob is ignored (Normalize collapses a
+	// skipped decision to its canonical form so the plan key cannot alias a
+	// transformed decision).
+	Skip bool `json:"skip,omitempty"`
 	// K is the tile size (iterations of the finalized loop per tile).
 	K int64 `json:"k"`
 	// Wait places the inter-tile waits; empty means WaitDeferred.
@@ -83,8 +91,17 @@ type Decision struct {
 	InterchangeMinBlockBytes int64 `json:"interchange_min_block_bytes,omitempty"`
 }
 
+// Identity returns the canonical "don't transform" decision.
+func Identity() Decision { return Decision{Skip: true} }
+
 // Normalize fills the zero knobs with their defaults and returns the result.
+// A skipped decision collapses to the canonical identity: the other knobs
+// are meaningless for an untransformed site, and collapsing them keeps the
+// plan key unique (skip can never alias any transformed decision).
 func (d Decision) Normalize() Decision {
+	if d.Skip {
+		return Identity()
+	}
 	if d.K == 0 {
 		d.K = DefaultK
 	}
@@ -103,8 +120,16 @@ func (d Decision) Normalize() Decision {
 	return d
 }
 
-// Validate rejects a decision outside the knob space.
+// Validate rejects a decision outside the knob space. A skipped decision is
+// always valid — its other knobs are ignored (and Normalize drops them), but
+// a negative K still signals a malformed plan.
 func (d Decision) Validate() error {
+	if d.Skip {
+		if d.K < 0 {
+			return fmt.Errorf("plan: tile size K must be ≥ 0 on a skipped site, got %d", d.K)
+		}
+		return nil
+	}
 	if d.K < 1 {
 		return fmt.Errorf("plan: tile size K must be ≥ 1, got %d", d.K)
 	}
@@ -264,6 +289,12 @@ func (p *Plan) Key() string {
 	var sb strings.Builder
 	writeDecision := func(d Decision) {
 		d = d.Normalize()
+		if d.Skip {
+			// The identity decision: no transformed decision can produce
+			// this token (K is always ≥ 1 there), so skip never aliases.
+			sb.WriteString("skip")
+			return
+		}
 		fmt.Fprintf(&sb, "k=%d,w=%s,s=%s,i=%s,m=%d", d.K, d.Wait, d.SendOrder, d.Interchange, d.InterchangeMinBlockBytes)
 	}
 	fmt.Fprintf(&sb, "np=%d;", p.NP)

@@ -170,6 +170,72 @@ func TestKeyDistinguishesKnobs(t *testing.T) {
 	}
 }
 
+// TestSkipRoundTripAndKey: the identity decision must survive JSON
+// round-trips, collapse to a canonical form, and key distinctly from every
+// transformed knob combination — skip can never alias a transformed plan.
+func TestSkipRoundTripAndKey(t *testing.T) {
+	p := Uniform(Decision{K: 8})
+	p.Set("12:3", Identity())
+	p.Set("40:5", Decision{K: 64}.Normalize())
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"skip": true`) {
+		t.Errorf("encoded plan does not spell out skip:\n%s", b)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, b)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Errorf("round trip changed the plan:\nbefore %+v\nafter  %+v", p, back)
+	}
+	if got := back.For("12:3"); !got.Skip {
+		t.Errorf("skipped site resolved to %+v", got)
+	}
+	if got := back.For("40:5"); got.Skip || got.K != 64 {
+		t.Errorf("transformed site resolved to %+v", got)
+	}
+
+	// Key uniqueness: the skip-all plan keys apart from every knob
+	// combination the search can express.
+	skipAll := Uniform(Identity())
+	skipKey := skipAll.Key()
+	for _, k := range []int64{1, 2, 8, 64, 1024} {
+		for _, w := range []WaitSchedule{WaitDeferred, WaitPerTile} {
+			for _, so := range []SendOrder{SendStaggered, SendSequential} {
+				for _, ic := range []Interchange{InterchangeAuto, InterchangeOn, InterchangeOff} {
+					d := Decision{K: k, Wait: w, SendOrder: so, Interchange: ic}
+					if Uniform(d).Key() == skipKey {
+						t.Fatalf("skip-all key %q collides with transformed decision %+v", skipKey, d)
+					}
+				}
+			}
+		}
+	}
+	// A mixed plan keys apart from both the skip-all and the all-transform
+	// collapse of it.
+	if k := p.Key(); k == skipKey || k == Uniform(Decision{K: 8}).Key() {
+		t.Errorf("mixed skip/transform plan key %q collides with a uniform collapse", k)
+	}
+	// Skip is canonical: whatever knobs ride along on a skipped decision,
+	// the normalized form (and hence the key) is the bare identity.
+	noisy := Decision{Skip: true, K: 512, Wait: WaitPerTile, SendOrder: SendSequential, Interchange: InterchangeOn}
+	if noisy.Normalize() != Identity() {
+		t.Errorf("skip did not collapse: %+v", noisy.Normalize())
+	}
+	if Uniform(noisy).Key() != skipKey {
+		t.Errorf("noisy skip keys differently: %q vs %q", Uniform(noisy).Key(), skipKey)
+	}
+	if err := Uniform(Decision{Skip: true}).Validate(); err != nil {
+		t.Errorf("bare skip decision rejected: %v", err)
+	}
+	if err := (Decision{Skip: true, K: -1}).Validate(); err == nil {
+		t.Error("negative K accepted on a skipped decision")
+	}
+}
+
 // TestMachineRegistry: the built-ins resolve by name and by historical
 // alias, and include an offload-capable modern model next to the paper
 // pair.

@@ -278,8 +278,17 @@ func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState
 		OriginalNs: s.origNs, FixedK: in.FixedK,
 	}
 
-	// The fixed-K default decision is always measured first so the tuned
-	// choice can never lose to the baseline, then the analytic seeds.
+	// The identity plan — skip every site — is candidate zero. It costs no
+	// measurement (the original run is already in hand), anchors the search
+	// at speedup exactly 1.0, and makes "tuned never loses to the original"
+	// true by construction: best() prefers the earliest candidate on ties,
+	// so a transformed plan is chosen only when it strictly beats identity.
+	// Registering the original source in bySrc also lets any mixed-skip
+	// vector whose generated code collapses to the original alias for free.
+	s.registerIdentity()
+
+	// The fixed-K default decision is measured next so the tuned choice can
+	// also never lose to the fixed-K baseline, then the analytic seeds.
 	fixed := plan.Decision{K: in.FixedK}.Normalize()
 	fds := uniformVecOf(fixed, len(sites))
 	if s.evaluate(fds, true) == nil {
@@ -389,6 +398,32 @@ func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState
 	return ch, nil
 }
 
+// registerIdentity records the skip-every-site vector as a measured
+// candidate without spending a run: its makespan is the original's by
+// definition (core.Apply returns the original bytes for a skip-all plan),
+// its speedup exactly 1.0, and the oracle trivially passes.
+func (s *search) registerIdentity() {
+	ds := normVec(uniformVecOf(plan.Identity(), len(s.sites)))
+	c := &Candidate{
+		Decisions: ds, Uniform: true,
+		PrepushNs: s.origNs, Speedup: 1.0, Identical: true, Seeded: true,
+	}
+	s.measured[s.vecKey(ds)] = c
+	s.bySrc[s.in.Source] = c
+	s.order = append(s.order, ds)
+}
+
+// skipCount returns how many sites of the vector decline transformation.
+func skipCount(ds []plan.Decision) int {
+	n := 0
+	for _, d := range ds {
+		if d.Skip {
+			n++
+		}
+	}
+	return n
+}
+
 // buildPlan materializes a decision vector as a site-keyed plan (sites in
 // program order; the first site's decision doubles as the default).
 func (s *search) buildPlan(ds []plan.Decision) *plan.Plan {
@@ -483,9 +518,11 @@ func (s *search) evaluate(ds []plan.Decision, seeded bool) *Candidate {
 		return c
 	}
 	src, rep, err := core.Apply(s.prog, s.buildPlan(ds))
-	if err != nil || rep.TransformedCount() < len(s.sites) {
-		// A plan leaving any site untransformed is not a candidate: the
-		// comparison must hold the set of rewritten sites fixed.
+	if err != nil || rep.TransformedCount() < len(s.sites)-skipCount(ds) {
+		// A plan leaving any non-skipped site untransformed is not a
+		// candidate: the comparison must hold the set of rewritten sites to
+		// exactly what the plan asked for. Deliberately skipped sites are
+		// fine — their identity is the decision.
 		s.measured[key] = nil
 		return nil
 	}
@@ -560,6 +597,11 @@ func (s *search) climbK(si int, ladder []int64) {
 // heuristic.
 func (s *search) climbKnobs(si int, ladder []int64) {
 	flips := []func(*plan.Decision){
+		// "Don't" leads: declining the transformation outright is the most
+		// consequential move on already-overlapped machines, where every
+		// transformed variant loses. Toggling skip off a skipped incumbent
+		// re-enters the transformed space at the default knobs.
+		func(d *plan.Decision) { d.Skip = !d.Skip },
 		func(d *plan.Decision) { d.Interchange = plan.InterchangeOff },
 		func(d *plan.Decision) { d.Interchange = plan.InterchangeOn },
 		func(d *plan.Decision) { d.Wait = flipWait(d.Wait) },

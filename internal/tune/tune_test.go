@@ -108,6 +108,69 @@ func TestTunedNeverLosesToFixed(t *testing.T) {
 	}
 }
 
+// TestIdentityCandidateNeverLoses: the skip-every-site identity plan seeds
+// every search, so the tuned speedup is bounded below by exactly 1.0 — the
+// tuner can decline to transform, and on machines where every transform
+// loses (the hpc-rdma-2019 class) it must choose the identity plan.
+func TestIdentityCandidateNeverLoses(t *testing.T) {
+	modern, err := plan.ByName("hpc-rdma-2019")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range workload.GenerateScenarios(workload.GenOptions{Limit: 4}) {
+		ms := append(machines(sc), modern)
+		choices, err := Tune(
+			Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: ms},
+			Options{},
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for _, c := range choices {
+			if c.Speedup < 1.0 {
+				t.Errorf("%s/%s: tuned speedup %.4f below 1.0 — identity candidate lost",
+					sc.Name, c.Machine, c.Speedup)
+			}
+			// The identity vector is always among the measured candidates,
+			// at speedup exactly 1.0, oracle-identical by construction.
+			found := false
+			for _, cand := range c.Candidates {
+				allSkip := len(cand.Decisions) > 0
+				for _, d := range cand.Decisions {
+					if !d.Skip {
+						allSkip = false
+					}
+				}
+				if allSkip {
+					found = true
+					if cand.Speedup != 1.0 || !cand.Identical {
+						t.Errorf("%s/%s: identity candidate %+v, want speedup exactly 1.0 and identical",
+							sc.Name, c.Machine, cand)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s: identity candidate missing from the measured set",
+					sc.Name, c.Machine)
+			}
+			// When the tuner keeps the original, it says so coherently: the
+			// chosen decision is the canonical skip for every site.
+			if c.Chosen.Skip {
+				for _, s := range c.Sites {
+					if !s.Decision.Skip {
+						t.Errorf("%s/%s: headline skip but site %s decision %+v",
+							sc.Name, c.Machine, s.Site, s.Decision)
+					}
+				}
+				if c.Speedup != 1.0 {
+					t.Errorf("%s/%s: identity plan chosen at speedup %.4f, want exactly 1.0",
+						sc.Name, c.Machine, c.Speedup)
+				}
+			}
+		}
+	}
+}
+
 // TestMultiKnobNeverLosesToKOnly: the K stage of the multi-knob search is
 // identical to the K-only search and the knob stage only ever adopts
 // strictly better plans, so pointwise the multi-knob tuned speedup is
@@ -128,8 +191,11 @@ func TestMultiKnobNeverLosesToKOnly(t *testing.T) {
 				t.Errorf("%s/%s: multi-knob %.4f below K-only %.4f",
 					sc.Name, multi[i].Machine, multi[i].Speedup, konly[i].Speedup)
 			}
-			d := konly[i].Chosen
-			if d.Wait != plan.WaitDeferred || d.SendOrder != plan.SendStaggered || d.Interchange != plan.InterchangeAuto {
+			// The identity plan (skip) is part of every search — including
+			// the K-only ablation, where it is the baseline candidate, not a
+			// knob flip. A non-skip K-only choice must keep the default knobs.
+			if d := konly[i].Chosen; !d.Skip &&
+				(d.Wait != plan.WaitDeferred || d.SendOrder != plan.SendStaggered || d.Interchange != plan.InterchangeAuto) {
 				t.Errorf("%s/%s: K-only search flipped a non-K knob: %+v", sc.Name, konly[i].Machine, d)
 			}
 		}
