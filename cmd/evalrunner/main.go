@@ -17,16 +17,26 @@
 //	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
 //	           [-machines a,b] [-engine compile|walk] [-parallel N]
 //	           [-min 20] [-q] [-tune] [-tunemax N] [-tune-konly]
+//	           [-cache-dir DIR]
 //	           [-check-baseline BENCH_harness.json] [-baseline-tol 0.01]
 //	           [-summary-md path]
 //	evalrunner -merge -out merged.json shard0.json shard1.json ...
 //
 // -engine selects the execution engine: "compile" (default) lowers every
 // (program, plan) variant once into a closure program, shared through the
-// process-wide variant cache — the engine the sweep scheduler is built
-// for; "walk" re-parses and tree-walks the AST per run, retained as the
+// sweep's variant store — the engine the sweep scheduler is built for;
+// "walk" re-parses and tree-walks the AST per run, retained as the
 // bit-identical differential oracle. The report records the engine and the
-// cache economics (variants_compiled, cache_hits, sweep_wall_ns).
+// cache economics (variants_compiled, cache_hits, disk_hits,
+// sweep_wall_ns).
+//
+// -cache-dir backs the sweep's variant store with a content-addressed
+// on-disk layer: every successfully compiled variant source is persisted
+// under DIR keyed by its sha256, and later sweeps sharing DIR start warm —
+// a checksum-valid entry counts as a disk hit rather than a compile, so a
+// fully warm run reports variants_compiled == 0. Entries are verified on
+// read and recompiled (and rewritten) on corruption, so a damaged cache
+// costs correctness nothing.
 //
 // -shard I/N keeps only the scenarios whose corpus index ≡ I (mod N), so a
 // large tuned sweep can split across processes; each shard writes a normal
@@ -44,7 +54,11 @@
 // reviewers see the perf delta without downloading artifacts. Both flags
 // work on sweep and -merge runs.
 //
-// Exit status is nonzero when any scenario fails the correctness oracle,
+// Exit status 2 is a usage error: inconsistent flag combinations or
+// out-of-range values (a negative -parallel or -limit) are rejected up
+// front with a message instead of being silently reinterpreted. Exit
+// status 1 reports a failed run or gate: it is returned when any scenario
+// fails the correctness oracle,
 // any scenario errors, any measurement reports a non-positive speedup, any
 // tuned row reports a speedup below 1.0 (the identity plan — every site
 // skipped — is always in the tuner's candidate set, so tuned can never
@@ -69,6 +83,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/plan"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -84,6 +99,7 @@ func main() {
 	tuneFlag := flag.Bool("tune", false, "auto-tune the overlap plan (K + wait/send-order/interchange knobs) per scenario and machine")
 	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
 	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
+	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory so sweeps sharing it start warm ('' = in-memory only)")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
 	engineName := flag.String("engine", "", "execution engine: compile (default; cached closure programs) or walk (tree-walking oracle)")
 	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
@@ -93,11 +109,12 @@ func main() {
 
 	engine, err := validateFlags(cliFlags{
 		Merge: *merge, Shard: *shard, Tune: *tuneFlag, TuneKOnly: *konly,
-		TuneMax: *tuneMax, Engine: *engineName,
+		TuneMax: *tuneMax, Engine: *engineName, Parallel: *parallel,
+		Limit: *limit, CacheDir: *cacheDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	// The baseline must be read before any artifact is written: with the
@@ -115,13 +132,13 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "evalrunner: unexpected arguments (did you mean -merge?):", flag.Args())
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	machines, err := resolveMachines(*machineList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	full := workload.GenerateScenarios(workload.GenOptions{Seed: *seed})
@@ -138,11 +155,25 @@ func main() {
 		scenarios, err = selectShard(scenarios, *shard)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evalrunner:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		sharded = true
 		if len(scenarios) == 0 {
 			fmt.Fprintln(os.Stderr, "evalrunner: shard selects no scenarios")
+			os.Exit(2)
+		}
+	}
+
+	var sess *session.Session
+	if *cacheDir != "" {
+		store, err := exec.NewDiskStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner: -cache-dir:", err)
+			os.Exit(1)
+		}
+		sess, err = session.New(session.Options{Engine: engine, Store: store})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
 			os.Exit(1)
 		}
 	}
@@ -150,7 +181,7 @@ func main() {
 	rep, err := harness.Run(harness.Config{
 		Scenarios: scenarios, Machines: machines, Parallelism: *parallel,
 		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax, TuneKOnly: *konly,
-		Engine: engine,
+		Engine: engine, Session: sess,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -188,7 +219,8 @@ func main() {
 	}
 }
 
-// cliFlags is the subset of flags whose combinations can be inconsistent.
+// cliFlags is the subset of flags whose combinations or values can be
+// inconsistent.
 type cliFlags struct {
 	Merge     bool
 	Shard     string
@@ -196,20 +228,36 @@ type cliFlags struct {
 	TuneKOnly bool
 	TuneMax   int
 	Engine    string
+	Parallel  int
+	Limit     int
+	CacheDir  string
 }
 
-// validateFlags rejects mutually-inconsistent flag combinations before any
-// work (or artifact writing) happens, and resolves the engine name.
+// validateFlags rejects mutually-inconsistent flag combinations and
+// out-of-range values before any work (or artifact writing) happens, and
+// resolves the engine name. A failure here is a usage error: main exits 2.
 func validateFlags(f cliFlags) (exec.Engine, error) {
 	engine, err := exec.Resolve(f.Engine)
 	if err != nil {
 		return "", err
+	}
+	if f.Parallel < 0 {
+		return "", fmt.Errorf("-parallel %d is not a worker count; pass a positive count, or 0 for one worker per CPU", f.Parallel)
+	}
+	if f.Limit < 0 {
+		return "", fmt.Errorf("-limit %d is not a scenario count; pass a positive count, or 0 for the whole corpus", f.Limit)
 	}
 	if f.Merge && f.Shard != "" {
 		return "", fmt.Errorf("-merge folds existing shard artifacts and cannot sweep a -shard; run the shard sweep first, then merge its artifact")
 	}
 	if f.Merge && f.Engine != "" {
 		return "", fmt.Errorf("-engine selects how a sweep executes; -merge only folds artifacts, which carry the engine their shards ran under")
+	}
+	if f.Merge && f.CacheDir != "" {
+		return "", fmt.Errorf("-cache-dir persists a sweep's compiled variants; -merge only folds artifacts and compiles nothing")
+	}
+	if f.CacheDir != "" && engine == exec.EngineWalk {
+		return "", fmt.Errorf("-cache-dir persists compiled variants; the walk engine re-interprets sources and compiles nothing")
 	}
 	if f.TuneKOnly && !f.Tune {
 		return "", fmt.Errorf("-tune-konly restricts the -tune search; pass -tune as well")

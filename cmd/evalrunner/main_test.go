@@ -29,6 +29,12 @@ func TestValidateFlags(t *testing.T) {
 		{name: "tune konly without tune", f: cliFlags{TuneKOnly: true}, wantErr: "-tune-konly"},
 		{name: "tunemax without tune", f: cliFlags{TuneMax: 9}, wantErr: "-tunemax"},
 		{name: "tunemax with tune", f: cliFlags{Tune: true, TuneMax: 9}, engine: exec.EngineCompile},
+		{name: "positive parallel and limit", f: cliFlags{Parallel: 8, Limit: 10}, engine: exec.EngineCompile},
+		{name: "negative parallel", f: cliFlags{Parallel: -1}, wantErr: "-parallel"},
+		{name: "negative limit", f: cliFlags{Limit: -5}, wantErr: "-limit"},
+		{name: "cache dir sweep", f: cliFlags{CacheDir: "varcache"}, engine: exec.EngineCompile},
+		{name: "cache dir with merge", f: cliFlags{Merge: true, CacheDir: "varcache"}, wantErr: "-cache-dir"},
+		{name: "cache dir with walk engine", f: cliFlags{CacheDir: "varcache", Engine: "walk"}, wantErr: "-cache-dir"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

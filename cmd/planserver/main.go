@@ -1,0 +1,152 @@
+// Command planserver exposes the tuner as a resident service: one
+// long-lived session (variant store + plan memo + execution engine) answers
+// plan queries over HTTP, so the expensive parts of a query — compiling
+// measured variants and searching plan space — are paid once per program
+// shape and amortized across every client.
+//
+// Usage:
+//
+//	planserver [-addr :8714] [-engine compile|walk] [-cache-dir DIR]
+//
+// Endpoints:
+//
+//	POST /plan    — body: a JSON query {source, machine, np, fixed_k?,
+//	                max_measured?, k_only?, arrays?}; response: the tuning
+//	                result {fingerprint, memo_hit, choice} where
+//	                choice.plan is the replayable overlap plan. The first
+//	                query for a (program shape, machine, search params)
+//	                tuple runs the seeded measured search; repeats are
+//	                served from the analysis-fingerprint memo with
+//	                memo_hit=true and no new search or compiles.
+//	GET  /stats   — the session's store and memo counters as JSON.
+//	GET  /healthz — liveness probe; always "ok".
+//
+// A rejected query (no source, np < 1, unknown machine, malformed JSON)
+// gets 400 with {"error": ...}; a search failure gets 500 the same way.
+// -cache-dir backs the session's variant store with the content-addressed
+// on-disk layer shared with evalrunner, so a restarted server starts warm
+// on every variant it ever compiled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/session"
+)
+
+func main() {
+	addr := flag.String("addr", ":8714", "listen address")
+	engineName := flag.String("engine", "", "execution engine for measured runs: compile (default) or walk")
+	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory ('' = in-memory only)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "planserver: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	engine, err := exec.Resolve(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planserver:", err)
+		os.Exit(2)
+	}
+	var store exec.VariantStore
+	if *cacheDir != "" {
+		if engine == exec.EngineWalk {
+			fmt.Fprintln(os.Stderr, "planserver: -cache-dir persists compiled variants; the walk engine compiles nothing")
+			os.Exit(2)
+		}
+		store, err = exec.NewDiskStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "planserver: -cache-dir:", err)
+			os.Exit(1)
+		}
+	}
+	sess, err := session.New(session.Options{Engine: engine, Store: store})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planserver:", err)
+		os.Exit(1)
+	}
+
+	log.Printf("planserver: engine %s, listening on %s", engine, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(sess)))
+}
+
+// newMux wires the session into the HTTP surface. Split from main so the
+// smoke test can mount the identical handler on an ephemeral listener.
+func newMux(s *session.Session) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a plan query to /plan"))
+			return
+		}
+		var q session.Query
+		// A capped reader keeps an accidental multi-gigabyte body from
+		// parking in memory; real queries are a few kilobytes of Fortran.
+		dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+			return
+		}
+		res, err := s.Plan(q)
+		if err != nil {
+			// The session rejects malformed queries before any analysis or
+			// search runs; those are the client's fault, the rest ours.
+			status := http.StatusInternalServerError
+			if isQueryError(err) {
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET /stats"))
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// isQueryError reports whether a Plan failure was caused by the query
+// itself (validation or a program that does not parse/analyze) rather than
+// by the search machinery.
+func isQueryError(err error) bool {
+	msg := err.Error()
+	return strings.HasPrefix(msg, "session: query") ||
+		strings.HasPrefix(msg, "session: analyze") ||
+		strings.Contains(msg, "unknown machine")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("planserver: write response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -557,15 +557,15 @@ func TestSkipAllByteIdentical(t *testing.T) {
 
 	// The byte identity is what makes skip free at execution time: compiling
 	// the original then the skip-all variant is one compile and one hit.
-	exec.ResetCache()
-	if _, err := exec.CompileCached(src); err != nil {
+	store := exec.NewMemStore()
+	if _, err := store.Get(src); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exec.CompileCached(out); err != nil {
+	if _, err := store.Get(out); err != nil {
 		t.Fatal(err)
 	}
-	if st := exec.Stats(); st.Compiled != 1 || st.Hits != 1 {
-		t.Errorf("cache stats %+v, want 1 compiled + 1 hit on the original's hash", st)
+	if st := store.Stats(); st.Compiled != 1 || st.Hits != 1 {
+		t.Errorf("store stats %+v, want 1 compiled + 1 hit on the original's hash", st)
 	}
 }
 

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestFingerprintStable: analyzing the same source twice yields the same
+// fingerprint — the memo key is a pure function of the analysis outcome.
+func TestFingerprintStable(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	a, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := core.Fingerprint(a, "mpich-gm-2005"), core.Fingerprint(b, "mpich-gm-2005")
+	if fa != fb {
+		t.Fatalf("fingerprint unstable across re-analysis:\n%s\n%s", fa, fb)
+	}
+	if !strings.HasPrefix(fa, "fp1-") {
+		t.Fatalf("fingerprint %q not versioned", fa)
+	}
+}
+
+// TestFingerprintMachineAndNPSensitive: the machine name and the analysis
+// rank count are part of the tuning problem, so each must change the key.
+func TestFingerprintMachineAndNPSensitive(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	p, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := core.Fingerprint(p, "mpich-gm-2005")
+	if tcp := core.Fingerprint(p, "mpich-tcp-2005"); tcp == gm {
+		t.Fatal("fingerprint ignores the machine")
+	}
+	p8, err := core.Analyze(src, core.AnalyzeOptions{NP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Fingerprint(p8, "mpich-gm-2005") == gm {
+		t.Fatal("fingerprint ignores the analysis rank count")
+	}
+}
+
+// TestFingerprintIgnoresIncidentalSource: two sources presenting the same
+// analyzed shape — same sites at the same positions with the same facts —
+// are the same tuning problem. A trailing comment changes the bytes but
+// not the shape; the sha256 content key would split them, the fingerprint
+// must not.
+func TestFingerprintIgnoresIncidentalSource(t *testing.T) {
+	src := readTestdata(t, "figure2_before.f90")
+	lines := strings.SplitN(src, "\n", 2)
+	tweaked := lines[0] + " ! incidental comment\n" + lines[1]
+	if tweaked == src {
+		t.Fatal("tweak did not change the source")
+	}
+	a, err := core.Analyze(src, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Analyze(tweaked, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Fingerprint(a, "mpich-gm-2005") != core.Fingerprint(b, "mpich-gm-2005") {
+		t.Fatal("fingerprint depends on incidental source bytes")
+	}
+}
+
+// TestFingerprintSeparatesGeometry: changing the exchange geometry changes
+// the candidate tile ladder, so the fingerprint must split — otherwise the
+// memo would replay a plan tuned for the wrong shape.
+func TestFingerprintSeparatesGeometry(t *testing.T) {
+	mk := func(nx int) string {
+		return workload.DirectSource(workload.DirectParams{NX: nx, NP: 4})
+	}
+	a, err := core.Analyze(mk(4096), core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Analyze(mk(8192), core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Fingerprint(a, "mpich-gm-2005") == core.Fingerprint(b, "mpich-gm-2005") {
+		t.Fatal("fingerprint blind to exchange geometry")
+	}
+}
+
+// TestFingerprintCorpusUnique: across the full 40-scenario corpus, every
+// scenario's analyzed shape is distinct — no two corpus rows would alias
+// in the plan memo on the same machine.
+func TestFingerprintCorpusUnique(t *testing.T) {
+	scens := workload.GenerateScenarios(workload.GenOptions{})
+	seen := map[string]string{} // fingerprint -> scenario name
+	for _, sc := range scens {
+		p, err := core.Analyze(sc.Source, core.AnalyzeOptions{NP: int64(sc.NP)})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		fp := core.Fingerprint(p, "mpich-gm-2005")
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("corpus fingerprint collision: %s and %s", prev, sc.Name)
+		}
+		seen[fp] = sc.Name
+	}
+	if len(seen) != len(scens) {
+		t.Fatalf("%d fingerprints over %d scenarios", len(seen), len(scens))
+	}
+}

@@ -98,40 +98,40 @@ end program tiny%d
 
 // TestCacheHitsReturnIdenticalArtifact: looking the same variant up again
 // must return the very same compiled artifact (pointer identity), and the
-// stats must count one compile plus the hits.
+// stats must count one compile plus the hits. Stores are per-instance now,
+// so a fresh store starts from zero — no global reset needed.
 func TestCacheHitsReturnIdenticalArtifact(t *testing.T) {
+	store := exec.NewMemStore()
 	src := fmt.Sprintf(cacheKernel, 1, 1)
-	before := exec.Stats()
-	p1, err := exec.CompileCached(src)
+	p1, err := store.Get(src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := exec.CompileCached(src)
+	p2, err := store.Get(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p1 != p2 {
 		t.Fatal("cache hit returned a different compiled artifact")
 	}
-	other, err := exec.CompileCached(fmt.Sprintf(cacheKernel, 2, 2))
+	other, err := store.Get(fmt.Sprintf(cacheKernel, 2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if other == p1 {
 		t.Fatal("distinct variants share one compiled artifact")
 	}
-	delta := exec.Stats().Sub(before)
-	if delta.Compiled != 2 || delta.Hits != 1 {
-		t.Fatalf("stats delta = %+v, want {Compiled:2 Hits:1}", delta)
+	if got := store.Stats(); got.Compiled != 2 || got.Hits != 1 {
+		t.Fatalf("stats = %+v, want {Compiled:2 Hits:1}", got)
 	}
 }
 
 // TestCacheConcurrentSingleFlight: many goroutines racing on the same new
 // variant must end up with one artifact and one compile (run under -race
-// in CI, this also proves the cache is race-clean).
+// in CI, this also proves the store is race-clean).
 func TestCacheConcurrentSingleFlight(t *testing.T) {
+	store := exec.NewMemStore()
 	src := fmt.Sprintf(cacheKernel, 3, 3)
-	before := exec.Stats()
 	const n = 16
 	progs := make([]*exec.Program, n)
 	var wg sync.WaitGroup
@@ -139,7 +139,7 @@ func TestCacheConcurrentSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := exec.CompileCached(src)
+			p, err := store.Get(src)
 			if err != nil {
 				t.Error(err)
 				return
@@ -153,11 +153,11 @@ func TestCacheConcurrentSingleFlight(t *testing.T) {
 			t.Fatal("concurrent lookups returned distinct artifacts")
 		}
 	}
-	delta := exec.Stats().Sub(before)
-	if delta.Compiled != 1 {
-		t.Fatalf("compiled %d times concurrently, want 1", delta.Compiled)
+	got := store.Stats()
+	if got.Compiled != 1 {
+		t.Fatalf("compiled %d times concurrently, want 1", got.Compiled)
 	}
-	if delta.Hits != n-1 {
-		t.Fatalf("hits = %d, want %d", delta.Hits, n-1)
+	if got.Hits != n-1 {
+		t.Fatalf("hits = %d, want %d", got.Hits, n-1)
 	}
 }

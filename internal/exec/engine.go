@@ -8,13 +8,13 @@ import (
 )
 
 // Engine selects how program variants are executed: the compiled closure
-// engine (with the process-wide variant cache) or the tree-walking
-// interpreter, which is retained as the differential oracle.
+// engine (drawing from a variant store) or the tree-walking interpreter,
+// which is retained as the differential oracle.
 type Engine string
 
 const (
-	// EngineCompile compiles each variant once (cached process-wide) and
-	// replays the closure program. The default.
+	// EngineCompile compiles each variant once (shared through the
+	// variant store) and replays the closure program. The default.
 	EngineCompile Engine = "compile"
 	// EngineWalk parses and tree-walks the AST for every run — the
 	// historical path, kept as the bit-identical oracle.
@@ -35,11 +35,21 @@ func Resolve(name string) (Engine, error) {
 	return "", fmt.Errorf("exec: unknown engine %q (want %q or %q)", name, EngineCompile, EngineWalk)
 }
 
+// Runner binds an engine to the variant store its compile path draws
+// from — the injectable execution handle a session threads through the
+// pipeline in place of the old process-global cache.
+type Runner struct {
+	Engine Engine
+	// Store backs the compile engine; nil selects the process-default
+	// store. The walk engine never touches it.
+	Store VariantStore
+}
+
 // Run executes src on np simulated ranks under the profile, charging
 // computation against costs. Both engines produce bit-identical results;
-// EngineCompile additionally shares compiled artifacts process-wide.
-func (e Engine) Run(src string, np int, costs interp.CostModel, prof netsim.Profile) (*interp.Result, error) {
-	if e == EngineWalk {
+// EngineCompile additionally shares compiled artifacts through the store.
+func (r Runner) Run(src string, np int, costs interp.CostModel, prof netsim.Profile) (*interp.Result, error) {
+	if r.Engine == EngineWalk {
 		p, err := interp.Load(src)
 		if err != nil {
 			return nil, err
@@ -47,9 +57,19 @@ func (e Engine) Run(src string, np int, costs interp.CostModel, prof netsim.Prof
 		p.Costs = costs
 		return p.Run(np, prof)
 	}
-	p, err := CompileCached(src)
+	store := r.Store
+	if store == nil {
+		store = DefaultStore()
+	}
+	p, err := store.Get(src)
 	if err != nil {
 		return nil, err
 	}
 	return p.Run(np, prof, costs)
+}
+
+// Run executes through the process-default store — the zero-configuration
+// path for callers with no session of their own.
+func (e Engine) Run(src string, np int, costs interp.CostModel, prof netsim.Profile) (*interp.Result, error) {
+	return Runner{Engine: e}.Run(src, np, costs, prof)
 }

@@ -12,7 +12,7 @@
 // harness run the same (program, plan) variant many times — per machine
 // model, per tuning candidate, per sweep — and the tree-walker re-parses
 // and re-walks the AST for each run. A compiled program is built once per
-// variant (see the process-wide variant cache in cache.go), shared safely
+// variant (see the VariantStore implementations in store.go), shared safely
 // across concurrent simulations (all mutable state lives in per-run
 // frames; a Program is immutable after compile), and replayed for the
 // price of calling closures.
@@ -144,7 +144,8 @@ func Compile(file *ftn.File) (*Program, error) {
 	return prog, nil
 }
 
-// CompileSource parses and compiles src (uncached; see CompileCached).
+// CompileSource parses and compiles src (uncached; a VariantStore is the
+// caching layer above this).
 func CompileSource(src string) (*Program, error) {
 	f, err := ftn.Parse(src)
 	if err != nil {

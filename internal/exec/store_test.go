@@ -1,0 +1,250 @@
+package exec_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// diskEntries lists the content-addressed entry files in a store dir.
+func diskEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.f90"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestDiskStoreColdThenWarm: a cold store compiles and persists; a second
+// store over the same directory (a fresh process, as far as the store can
+// tell) serves every variant from disk with 0 compiles.
+func TestDiskStoreColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	srcs := []string{
+		fmt.Sprintf(cacheKernel, 10, 10),
+		fmt.Sprintf(cacheKernel, 11, 11),
+		fmt.Sprintf(cacheKernel, 12, 12),
+	}
+
+	cold, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range srcs {
+		if _, err := cold.Get(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cold.Stats(); st.Compiled != 3 || st.DiskHits != 0 || st.Corrupt != 0 {
+		t.Fatalf("cold stats = %+v, want 3 compiles and no disk hits", st)
+	}
+	if got := len(diskEntries(t, dir)); got != 3 {
+		t.Fatalf("%d disk entries after cold run, want 3", got)
+	}
+
+	// Entries are keyed by the content hash of what they hold.
+	for _, src := range srcs {
+		key := exec.KeyOf(src)
+		b, err := os.ReadFile(filepath.Join(dir, key.String()+".f90"))
+		if err != nil {
+			t.Fatalf("entry for %s missing: %v", key, err)
+		}
+		if string(b) != src {
+			t.Fatalf("entry %s does not hold its variant source", key)
+		}
+	}
+
+	warm, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range srcs {
+		if _, err := warm.Get(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := warm.Stats(); st.Compiled != 0 || st.DiskHits != 3 {
+		t.Fatalf("warm stats = %+v, want 0 compiles and 3 disk hits", st)
+	}
+
+	// Within one store, repeat lookups are memory hits, not disk reads.
+	if _, err := warm.Get(srcs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Hits != 1 {
+		t.Fatalf("warm repeat stats = %+v, want 1 memory hit", st)
+	}
+}
+
+// TestDiskStoreMemoryLayerIdentity: within one store, a repeat lookup
+// returns the identical compiled artifact (the disk layer sits behind the
+// memory layer, it does not replace it).
+func TestDiskStoreMemoryLayerIdentity(t *testing.T) {
+	store, err := exec.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(cacheKernel, 20, 20)
+	p1, err := store.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := store.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeat lookup returned a different compiled artifact")
+	}
+}
+
+// TestDiskStoreDetectsCorruption: a truncated or bit-flipped entry must
+// fail the checksum, count as corrupt, be recompiled from the requested
+// source, and be rewritten valid — never trusted.
+func TestDiskStoreDetectsCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncate", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bitflip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/3] ^= 0x40
+			return c
+		}},
+	}
+	for i, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			src := fmt.Sprintf(cacheKernel, 30+i, 30+i)
+			entry := filepath.Join(dir, exec.KeyOf(src).String()+".f90")
+
+			seed, err := exec.NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seed.Get(src); err != nil {
+				t.Fatal(err)
+			}
+
+			b, err := os.ReadFile(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(entry, tc.mut(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			store, err := exec.NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.Get(src); err != nil {
+				t.Fatal(err)
+			}
+			st := store.Stats()
+			if st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want the corrupt entry counted", st)
+			}
+			if st.Compiled != 1 || st.DiskHits != 0 {
+				t.Fatalf("stats = %+v, want a recompile instead of a disk hit", st)
+			}
+			// The rewritten entry must be valid again.
+			got, err := os.ReadFile(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != src {
+				t.Fatal("corrupt entry was not rewritten with the variant source")
+			}
+			fresh, err := exec.NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fresh.Get(src); err != nil {
+				t.Fatal(err)
+			}
+			if st := fresh.Stats(); st.DiskHits != 1 || st.Corrupt != 0 {
+				t.Fatalf("post-rewrite stats = %+v, want a clean disk hit", st)
+			}
+		})
+	}
+}
+
+// TestDiskStorePutWarmsWithoutCompiling: Put persists the variant for
+// other workers without compiling it here; a later store over the same
+// directory serves it as a disk hit.
+func TestDiskStorePutWarmsWithoutCompiling(t *testing.T) {
+	dir := t.TempDir()
+	src := fmt.Sprintf(cacheKernel, 40, 40)
+
+	producer, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Put(src); err != nil {
+		t.Fatal(err)
+	}
+	if st := producer.Stats(); st.Compiled != 0 {
+		t.Fatalf("Put compiled: stats = %+v", st)
+	}
+	if got := len(diskEntries(t, dir)); got != 1 {
+		t.Fatalf("%d disk entries after Put, want 1", got)
+	}
+
+	consumer, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consumer.Get(src); err != nil {
+		t.Fatal(err)
+	}
+	if st := consumer.Stats(); st.Compiled != 0 || st.DiskHits != 1 {
+		t.Fatalf("consumer stats = %+v, want a disk hit", st)
+	}
+}
+
+// TestDiskStoreBadSourceNotPersisted: a variant that fails to compile must
+// not be written to disk — the store persists knowledge, not garbage.
+func TestDiskStoreBadSourceNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	store, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "program broken\n  this is not fortran at all\n"
+	if _, err := store.Get(bad); err == nil {
+		t.Fatal("compiling garbage succeeded")
+	}
+	if got := len(diskEntries(t, dir)); got != 0 {
+		t.Fatalf("%d disk entries persisted for a non-compiling variant", got)
+	}
+}
+
+// TestDiskStoreDefaultDirIsUserScoped: the "" directory resolves under the
+// user cache dir rather than the working directory.
+func TestDiskStoreDefaultDirIsUserScoped(t *testing.T) {
+	t.Setenv("XDG_CACHE_HOME", t.TempDir())
+	dir, err := exec.DefaultCacheDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dir, "compuniformer") {
+		t.Fatalf("default cache dir %q not app-scoped", dir)
+	}
+	store, err := exec.NewDiskStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Dir() != dir {
+		t.Fatalf("store dir %q, want default %q", store.Dir(), dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("default dir not created: %v", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/plan"
+	"repro/internal/session"
 	"repro/internal/tune"
 	"repro/internal/workload"
 )
@@ -74,9 +75,18 @@ type Config struct {
 	TuneKOnly bool
 	// Engine selects the execution engine: exec.EngineCompile (default)
 	// compiles each (program, plan) variant once into a closure program,
-	// shared through the process-wide variant cache; exec.EngineWalk
+	// shared through the sweep session's variant store; exec.EngineWalk
 	// re-parses and tree-walks per run — the differential oracle.
 	Engine exec.Engine
+	// Session, when non-nil, supplies the variant store, plan memo, and
+	// engine the sweep runs through — two sweeps sharing a session share
+	// compiled variants (and, in tuned mode, memoized plans: the caller
+	// owns the fingerprint-aliasing assumption that makes memoized plans
+	// replayable). Nil gives each Run a private session (fresh in-memory
+	// store, no cross-run memoization) — the historical behavior, and
+	// what keeps concurrent sweeps in one process from sharing counters.
+	// A non-empty Engine must agree with the session's.
+	Session *session.Session
 }
 
 // ProfileRun is one (scenario, machine) differential measurement.
@@ -222,11 +232,16 @@ type Summary struct {
 	// rows pin the tuned speedup at exactly 1.0 (the never-lose floor).
 	IdentityPlans int `json:"identity_plans"`
 	// VariantsCompiled and CacheHits are this sweep's traffic against the
-	// process-wide compiled-variant cache (zero under the walk engine):
-	// distinct (program, plan) variants compiled vs. lookups served by an
-	// already-compiled artifact. Merge sums them across shards.
+	// session's compiled-variant store (zero under the walk engine):
+	// variants new to the store vs. lookups served by an already-compiled
+	// in-memory artifact. Merge sums them across shards.
 	VariantsCompiled int64 `json:"variants_compiled"`
 	CacheHits        int64 `json:"cache_hits"`
+	// DiskHits counts lookups served from a persistent store's
+	// checksum-valid on-disk entries (variants known from an earlier
+	// process; re-lowered in memory but not new knowledge). Zero unless
+	// the sweep session wraps an on-disk store.
+	DiskHits int64 `json:"disk_hits,omitempty"`
 	// SweepWallNs is the scheduler's wall-clock cost for this sweep (the
 	// quantity the engine exists to shrink); merge sums shard walls.
 	SweepWallNs int64 `json:"sweep_wall_ns"`
@@ -295,21 +310,39 @@ func Run(cfg Config) (*Report, error) {
 	if len(arrays) == 0 {
 		arrays = []string{"ar"}
 	}
-	engine, err := exec.Resolve(string(cfg.Engine))
-	if err != nil {
-		return nil, fmt.Errorf("harness: %v", err)
+	sess := cfg.Session
+	if sess == nil {
+		// A private session per Run: fresh in-memory variant store, no
+		// memoized plans. Concurrent sweeps in one process never share
+		// counters — the old process-global cache (and its test-only
+		// ResetCache escape hatch) is gone.
+		var err error
+		sess, err = session.New(session.Options{Engine: cfg.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %v", err)
+		}
+	} else if cfg.Engine != "" && cfg.Engine != sess.Engine() {
+		return nil, fmt.Errorf("harness: config engine %q disagrees with session engine %q",
+			cfg.Engine, sess.Engine())
 	}
+	engine := sess.Engine()
+	// Plans are memoized across queries only through an explicit shared
+	// session: a caller wiring one in accepts that fingerprint-equal
+	// (scenario, machine) pairs replay each other's plans. Default sweeps
+	// tune every pair from scratch, so the committed artifact never
+	// depends on the aliasing assumption.
+	memoPlans := cfg.Session != nil
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 
 	wallStart := time.Now()
-	cacheBefore := exec.Stats()
+	storeBefore := sess.Store().Stats()
 
 	states := make([]*scenarioState, len(scenarios))
 	for i, sc := range scenarios {
-		states[i] = newScenarioState(sc, machines, arrays, engine)
+		states[i] = newScenarioState(sc, machines, arrays, sess, memoPlans)
 	}
 
 	nm := len(machines)
@@ -340,9 +373,10 @@ func Run(cfg Config) (*Report, error) {
 		rep.Machines = append(rep.Machines, m.Name)
 	}
 	rep.Summary = summarize(outcomes)
-	delta := exec.Stats().Sub(cacheBefore)
+	delta := sess.Store().Stats().Sub(storeBefore)
 	rep.Summary.VariantsCompiled = delta.Compiled
 	rep.Summary.CacheHits = delta.Hits
+	rep.Summary.DiskHits = delta.DiskHits
 	rep.Summary.SweepWallNs = time.Since(wallStart).Nanoseconds()
 	return rep, nil
 }
@@ -394,7 +428,11 @@ type scenarioState struct {
 	sc       workload.Scenario
 	machines []plan.Machine
 	arrays   []string
-	engine   exec.Engine
+	sess     *session.Session
+	runner   exec.Runner
+	// memoPlans gates the plan memo for wave 2 (only explicit shared
+	// sessions memoize plans across queries).
+	memoPlans bool
 
 	fixedPlan *plan.Plan
 
@@ -413,7 +451,7 @@ type scenarioState struct {
 	tuneErr  []string
 }
 
-func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []string, engine exec.Engine) *scenarioState {
+func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []string, sess *session.Session, memoPlans bool) *scenarioState {
 	// A scenario naming its own observable arrays (multi-site kernels have
 	// one receive array per exchange) overrides the sweep default.
 	if len(sc.Arrays) > 0 {
@@ -423,7 +461,9 @@ func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []st
 		sc:        sc,
 		machines:  machinesFor(sc, machines),
 		arrays:    arrays,
-		engine:    engine,
+		sess:      sess,
+		runner:    sess.Runner(),
+		memoPlans: memoPlans,
 		fixedPlan: core.Options{K: sc.K}.Plan(),
 		profiles:  make([]ProfileRun, len(machines)),
 		runErr:    make([]string, len(machines)),
@@ -433,10 +473,12 @@ func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []st
 	}
 }
 
-// prepare analyzes the scenario and applies the fixed plan, once.
+// prepare analyzes the scenario and applies the fixed plan, once. The
+// analysis goes through the session so a shared session reuses programs
+// (and their plan-key Apply memos) across sweeps.
 func (st *scenarioState) prepare() {
 	st.prepOnce.Do(func() {
-		prog, err := core.Analyze(st.sc.Source, core.AnalyzeOptions{})
+		prog, err := st.sess.Analyze(st.sc.Source, 0)
 		if err != nil {
 			st.prepErr = fmt.Sprintf("analyze: %v", err)
 			return
@@ -468,7 +510,7 @@ func (st *scenarioState) runMachine(mi int) {
 	var blocked [2]netsim.Time
 	var msgs, bytes [2]int64
 	for vi, text := range []string{st.sc.Source, st.transformed} {
-		res, err := st.engine.Run(text, st.sc.NP, m.Costs, m.Profile)
+		res, err := st.runner.Run(text, st.sc.NP, m.Costs, m.Profile)
 		if err != nil {
 			st.runErr[mi] = fmt.Sprintf("run %s variant %d: %v", m.Name, vi, err)
 			return
@@ -516,11 +558,15 @@ func (st *scenarioState) tuneMachine(mi int, cfg Config) {
 		return
 	}
 	m := st.machines[mi]
+	opts := tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: st.arrays,
+		KOnly: cfg.TuneKOnly, Engine: st.sess.Engine(), Store: st.sess.Store()}
+	if st.memoPlans {
+		opts.Memo = st.sess.Memo()
+	}
 	choices, err := tune.Tune(
 		tune.Input{Source: st.sc.Source, Program: st.prog, NP: st.sc.NP, FixedK: st.sc.K,
 			Machines: []plan.Machine{m}},
-		tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: st.arrays,
-			KOnly: cfg.TuneKOnly, Engine: st.engine},
+		opts,
 	)
 	if err != nil {
 		st.tuneErr[mi] = fmt.Sprintf("tune: %v", err)
@@ -603,7 +649,7 @@ func Merge(reports []*Report) (*Report, error) {
 	var outcomes []Outcome
 	machineSet := ""
 	engine := ""
-	var compiled, hits, wall int64
+	var compiled, hits, diskHits, wall int64
 	for i, r := range reports {
 		if r.Schema != Schema {
 			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q — regenerate the shard with this binary", i, r.Schema, Schema)
@@ -624,6 +670,7 @@ func Merge(reports []*Report) (*Report, error) {
 		}
 		compiled += r.Summary.VariantsCompiled
 		hits += r.Summary.CacheHits
+		diskHits += r.Summary.DiskHits
 		wall += r.Summary.SweepWallNs
 		outcomes = append(outcomes, r.Scenarios...)
 	}
@@ -668,6 +715,7 @@ func Merge(reports []*Report) (*Report, error) {
 	rep.Summary = summarize(outcomes)
 	rep.Summary.VariantsCompiled = compiled
 	rep.Summary.CacheHits = hits
+	rep.Summary.DiskHits = diskHits
 	rep.Summary.SweepWallNs = wall
 	return rep, nil
 }
@@ -860,9 +908,12 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&sb, "\n%d scenarios, %d identical, %d errors\n",
 		r.Summary.Scenarios, r.Summary.Correct, r.Summary.Errors)
 	if r.Engine != "" {
-		fmt.Fprintf(&sb, "engine %s: %d variant(s) compiled, %d cache hit(s), sweep wall %s\n",
-			r.Engine, r.Summary.VariantsCompiled, r.Summary.CacheHits,
-			netsim.Time(r.Summary.SweepWallNs))
+		fmt.Fprintf(&sb, "engine %s: %d variant(s) compiled, %d cache hit(s)",
+			r.Engine, r.Summary.VariantsCompiled, r.Summary.CacheHits)
+		if r.Summary.DiskHits > 0 {
+			fmt.Fprintf(&sb, ", %d disk hit(s)", r.Summary.DiskHits)
+		}
+		fmt.Fprintf(&sb, ", sweep wall %s\n", netsim.Time(r.Summary.SweepWallNs))
 	}
 	if r.Summary.NonPositive > 0 {
 		fmt.Fprintf(&sb, "WARNING: %d non-positive speedup measurement(s) excluded from geomeans\n",

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -123,10 +124,11 @@ func TestEnginesAgreeFixedAndTuned(t *testing.T) {
 }
 
 // TestCompiledSweepRecordsCacheEconomics: a compile-engine sweep must
-// report its variant-cache traffic and wall time in the v5 summary fields,
-// and a second identical sweep must be served from the process-wide cache.
+// report its variant-store traffic and wall time in the summary fields.
+// Each Run gets a private session (exact counts, no global state to
+// reset); sharing compiled variants across sweeps takes an explicit shared
+// session.
 func TestCompiledSweepRecordsCacheEconomics(t *testing.T) {
-	exec.ResetCache()
 	corpus := smallCorpus(t, 3)
 	rep, err := Run(Config{Scenarios: corpus, Engine: exec.EngineCompile})
 	if err != nil {
@@ -145,19 +147,102 @@ func TestCompiledSweepRecordsCacheEconomics(t *testing.T) {
 	if rep.Summary.SweepWallNs <= 0 {
 		t.Error("SweepWallNs not recorded")
 	}
-	again, err := Run(Config{Scenarios: corpus, Engine: exec.EngineCompile})
+	// A second private-session sweep compiles everything again (sessions
+	// are isolated); the same sweep through a shared session is served
+	// from the first sweep's store.
+	private, err := Run(Config{Scenarios: corpus, Engine: exec.EngineCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private.Summary.VariantsCompiled != 6 {
+		t.Errorf("private-session sweep compiled %d variants, want 6", private.Summary.VariantsCompiled)
+	}
+	sess, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(Config{Scenarios: corpus, Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Summary.VariantsCompiled != 6 {
+		t.Errorf("cold shared-session sweep compiled %d variants, want 6", first.Summary.VariantsCompiled)
+	}
+	again, err := Run(Config{Scenarios: corpus, Session: sess})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if again.Summary.VariantsCompiled != 0 {
-		t.Errorf("second sweep compiled %d variants, want 0 (process-wide cache)", again.Summary.VariantsCompiled)
+		t.Errorf("warm shared-session sweep compiled %d variants, want 0", again.Summary.VariantsCompiled)
 	}
 	walk, err := Run(Config{Scenarios: corpus, Engine: exec.EngineWalk})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if walk.Summary.VariantsCompiled != 0 || walk.Summary.CacheHits != 0 {
-		t.Errorf("walk sweep touched the variant cache: %+v", walk.Summary)
+		t.Errorf("walk sweep touched the variant store: %+v", walk.Summary)
+	}
+	// A config engine that disagrees with the session's is refused.
+	if _, err := Run(Config{Scenarios: corpus, Session: sess, Engine: exec.EngineWalk}); err == nil {
+		t.Error("engine/session disagreement accepted")
+	}
+}
+
+// TestWarmDiskStoreAcrossSessions: two sweeps in fresh sessions over one
+// shared -cache-dir: the cold sweep compiles and persists every variant,
+// the warm sweep compiles 0 (all disk hits) and reports identical results
+// modulo the volatile counters — the CI warm-cache job's contract.
+func TestWarmDiskStoreAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	corpus := smallCorpus(t, 3)
+	sweep := func() *Report {
+		t.Helper()
+		store, err := exec.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := session.New(session.Options{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(Config{Scenarios: corpus, Tune: true, Session: sess})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Summary.Errors != 0 || rep.Summary.Correct != len(corpus) {
+			t.Fatalf("sweep failed:\n%s", rep.Table())
+		}
+		return rep
+	}
+	cold := sweep()
+	if cold.Summary.VariantsCompiled == 0 {
+		t.Fatal("cold sweep compiled nothing")
+	}
+	if cold.Summary.DiskHits != 0 {
+		t.Errorf("cold sweep reported %d disk hits over an empty store", cold.Summary.DiskHits)
+	}
+	warm := sweep()
+	if warm.Summary.VariantsCompiled != 0 {
+		t.Errorf("warm sweep compiled %d variants, want 0", warm.Summary.VariantsCompiled)
+	}
+	if warm.Summary.DiskHits != cold.Summary.VariantsCompiled {
+		t.Errorf("warm sweep had %d disk hits, want %d (every cold compile)",
+			warm.Summary.DiskHits, cold.Summary.VariantsCompiled)
+	}
+	// Identical results, modulo the volatile execution counters.
+	norm := func(r *Report) string {
+		r.Summary.SweepWallNs = 0
+		r.Summary.VariantsCompiled = 0
+		r.Summary.CacheHits = 0
+		r.Summary.DiskHits = 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := norm(cold), norm(warm); a != b {
+		t.Errorf("warm report differs from cold:\n%s\nvs\n%s", a, b)
 	}
 }
 
@@ -380,14 +465,15 @@ func TestMergeShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wall time and variant-cache traffic are execution facts, not corpus
-	// facts: the shards legitimately spend different wall time and hit the
-	// process-wide cache differently than the unsharded sweep. Everything
-	// else must agree byte for byte.
+	// Wall time and variant-store traffic are execution facts, not corpus
+	// facts: the shards legitimately spend different wall time and hit
+	// their stores differently than the unsharded sweep. Everything else
+	// must agree byte for byte.
 	for _, r := range []*Report{whole, merged} {
 		r.Summary.SweepWallNs = 0
 		r.Summary.VariantsCompiled = 0
 		r.Summary.CacheHits = 0
+		r.Summary.DiskHits = 0
 	}
 	a, _ := json.Marshal(whole)
 	b, _ := json.Marshal(merged)

@@ -1,0 +1,221 @@
+// Package session scopes the pipeline's shared state — the compiled-variant
+// store, the plan memo, and the execution engine — into one injected object
+// instead of package globals. A Session is what a long-lived service holds:
+// repeat tuning queries hit the memo, repeat variant executions hit the
+// store, and two sessions in one process never share counters. The
+// zero-configuration default (fresh in-memory store, fresh memo, compiled
+// engine) reproduces the historical per-run behavior exactly.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/tune"
+)
+
+// Options configures a session.
+type Options struct {
+	// Engine selects the execution engine; "" means exec.Default.
+	Engine exec.Engine
+	// Store backs compiled-variant lookups; nil means a fresh in-memory
+	// store private to this session. Pass an exec.DiskStore to carry
+	// variant knowledge across processes.
+	Store exec.VariantStore
+	// Memo caches tuning outcomes by analysis fingerprint; nil means a
+	// fresh memo private to this session.
+	Memo *tune.Memo
+}
+
+// Session carries the pipeline state one service instance shares across
+// queries. Safe for concurrent use.
+type Session struct {
+	engine exec.Engine
+	store  exec.VariantStore
+	memo   *tune.Memo
+
+	mu       sync.Mutex
+	programs map[programKey]*core.Program
+}
+
+type programKey struct {
+	src string
+	np  int64
+}
+
+// New builds a session; the zero Options value gives the defaults.
+func New(opts Options) (*Session, error) {
+	engine, err := exec.Resolve(string(opts.Engine))
+	if err != nil {
+		return nil, fmt.Errorf("session: %v", err)
+	}
+	store := opts.Store
+	if store == nil {
+		store = exec.NewMemStore()
+	}
+	memo := opts.Memo
+	if memo == nil {
+		memo = tune.NewMemo()
+	}
+	return &Session{
+		engine:   engine,
+		store:    store,
+		memo:     memo,
+		programs: map[programKey]*core.Program{},
+	}, nil
+}
+
+// Engine returns the session's execution engine.
+func (s *Session) Engine() exec.Engine { return s.engine }
+
+// Store returns the session's variant store.
+func (s *Session) Store() exec.VariantStore { return s.store }
+
+// Memo returns the session's plan memo.
+func (s *Session) Memo() *tune.Memo { return s.memo }
+
+// Runner returns the execution handle binding the session's engine to its
+// store.
+func (s *Session) Runner() exec.Runner {
+	return exec.Runner{Engine: s.engine, Store: s.store}
+}
+
+// Analyze parses and analyzes src, memoized per (source, NP): repeat
+// queries over the same program reuse its analysis and, through
+// core.Apply's plan-key memo on the shared Program, every variant already
+// generated for it.
+func (s *Session) Analyze(src string, np int64) (*core.Program, error) {
+	key := programKey{src: src, np: np}
+	s.mu.Lock()
+	if p, ok := s.programs[key]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+	// Analyze outside the lock (it probe-transforms every site); a racing
+	// duplicate analysis of the same source is harmless and the first
+	// stored wins.
+	p, err := core.Analyze(src, core.AnalyzeOptions{NP: np})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.programs[key]; ok {
+		return prev, nil
+	}
+	s.programs[key] = p
+	return p, nil
+}
+
+// Tune runs the plan search through the session: the variant store backs
+// every measured run, and the plan memo short-circuits (fingerprint,
+// machine) pairs tuned before. Caller options other than Store/Memo/Engine
+// pass through.
+func (s *Session) Tune(in tune.Input, opts tune.Options) ([]tune.Choice, error) {
+	opts.Store = s.store
+	opts.Memo = s.memo
+	if opts.Engine == "" {
+		opts.Engine = s.engine
+	}
+	if in.Program == nil && in.Source != "" {
+		p, err := s.Analyze(in.Source, 0)
+		if err != nil {
+			return nil, fmt.Errorf("session: analyze: %w", err)
+		}
+		in.Program = p
+	}
+	return tune.Tune(in, opts)
+}
+
+// Query is one plan request: tune this program for this machine.
+type Query struct {
+	// Source is the untransformed Fortran program.
+	Source string `json:"source"`
+	// Machine names the target machine model (plan.ByName).
+	Machine string `json:"machine"`
+	// NP is the simulated rank count; required (the measured search runs
+	// the program).
+	NP int `json:"np"`
+	// FixedK is the fixed-tile baseline the search may never lose to;
+	// <= 0 selects the machine's default tile size.
+	FixedK int64 `json:"fixed_k,omitempty"`
+	// MaxMeasured caps measured candidates; <= 0 selects the tuner
+	// default.
+	MaxMeasured int `json:"max_measured,omitempty"`
+	// KOnly restricts the search to tile sizes.
+	KOnly bool `json:"k_only,omitempty"`
+	// Arrays names the observable arrays the oracle compares; empty means
+	// the default {"ar"}.
+	Arrays []string `json:"arrays,omitempty"`
+}
+
+// Result is a plan query's outcome.
+type Result struct {
+	// Fingerprint is the analysis fingerprint the memo keyed on.
+	Fingerprint string `json:"fingerprint"`
+	// MemoHit reports whether the plan came from the memo (no search ran).
+	MemoHit bool `json:"memo_hit"`
+	// Choice is the tuning outcome; Choice.Plan is the replayable plan.
+	Choice tune.Choice `json:"choice"`
+}
+
+// Plan answers one tuning query through the session's memo and store: the
+// first query for a (program-shape, machine) pair runs the seeded search,
+// repeats are O(memo lookup).
+func (s *Session) Plan(q Query) (*Result, error) {
+	if q.Source == "" {
+		return nil, fmt.Errorf("session: query needs a program source")
+	}
+	if q.NP < 1 {
+		return nil, fmt.Errorf("session: query needs np >= 1 (the search simulates the program)")
+	}
+	m, err := plan.ByName(q.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	fixedK := q.FixedK
+	if fixedK <= 0 {
+		fixedK = m.DefaultK()
+	}
+	prog, err := s.Analyze(q.Source, int64(q.NP))
+	if err != nil {
+		return nil, fmt.Errorf("session: analyze: %w", err)
+	}
+	choices, err := tune.Tune(tune.Input{
+		Source:   q.Source,
+		Program:  prog,
+		NP:       q.NP,
+		FixedK:   fixedK,
+		Machines: []plan.Machine{m},
+	}, tune.Options{
+		MaxMeasured: q.MaxMeasured,
+		Arrays:      q.Arrays,
+		KOnly:       q.KOnly,
+		Engine:      s.engine,
+		Store:       s.store,
+		Memo:        s.memo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Fingerprint: core.Fingerprint(prog, m.Name),
+		MemoHit:     choices[0].MemoHit,
+		Choice:      choices[0],
+	}, nil
+}
+
+// Stats bundles the session's store and memo counters (the /stats payload).
+type Stats struct {
+	Store exec.StoreStats `json:"store"`
+	Memo  tune.MemoStats  `json:"memo"`
+}
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() Stats {
+	return Stats{Store: s.store.Stats(), Memo: s.memo.Stats()}
+}

@@ -1,0 +1,181 @@
+package session_test
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+func testSource() string {
+	return workload.DirectSource(workload.DirectParams{NX: 4096, NP: 4})
+}
+
+// TestPlanMemoHitOnRepeatQuery: the second identical query must come from
+// the memo — same plan, no new compiled variants, no search.
+func TestPlanMemoHitOnRepeatQuery(t *testing.T) {
+	s, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := session.Query{Source: testSource(), Machine: "mpich-gm-2005", NP: 4}
+
+	first, err := s.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.MemoHit {
+		t.Fatal("cold query reported a memo hit")
+	}
+	if first.Choice.Plan == nil {
+		t.Fatal("cold query returned no plan")
+	}
+	compiled := s.Store().Stats().Compiled
+	if compiled == 0 {
+		t.Fatal("cold query compiled nothing")
+	}
+
+	second, err := s.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.MemoHit {
+		t.Fatal("repeat query was not served from the memo")
+	}
+	if second.Choice.Plan.Key() != first.Choice.Plan.Key() {
+		t.Fatal("memoized plan differs from the tuned plan")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Fatal("fingerprint unstable across identical queries")
+	}
+	if got := s.Store().Stats().Compiled; got != compiled {
+		t.Fatalf("repeat query compiled %d new variants, want 0", got-compiled)
+	}
+	if st := s.Stats(); st.Memo.Hits != 1 {
+		t.Fatalf("session stats = %+v, want one memo hit", st)
+	}
+}
+
+// TestPlanValidatesQuery: missing source, rank count, or an unknown
+// machine must error instead of searching garbage.
+func TestPlanValidatesQuery(t *testing.T) {
+	s, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []session.Query{
+		{Machine: "mpich-gm-2005", NP: 4},
+		{Source: testSource(), Machine: "mpich-gm-2005"},
+		{Source: testSource(), Machine: "no-such-machine", NP: 4},
+	}
+	for i, q := range bad {
+		if _, err := s.Plan(q); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+// TestSessionsAreIsolated: two sessions in one process share no counters —
+// the satellite fix for the old process-global cache reset races.
+func TestSessionsAreIsolated(t *testing.T) {
+	a, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := session.Query{Source: testSource(), Machine: "mpich-gm-2005", NP: 4}
+	if _, err := a.Plan(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Store != (exec.StoreStats{}) || st.Memo.Entries != 0 {
+		t.Fatalf("session b saw session a's traffic: %+v", st)
+	}
+	// The same query against b misses b's memo (fresh search).
+	res, err := b.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoHit {
+		t.Fatal("fresh session hit a memo it never filled")
+	}
+}
+
+// TestSessionSharedDiskStore: a session over a warm disk store re-tunes
+// (the memo is in-process) but recompiles nothing — every variant the
+// search measures is already store knowledge.
+func TestSessionSharedDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	q := session.Query{Source: testSource(), Machine: "mpich-gm-2005", NP: 4}
+
+	cold, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := session.New(session.Options{Store: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats().Compiled == 0 {
+		t.Fatal("cold session compiled nothing")
+	}
+
+	warm, err := exec.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := session.New(session.Options{Store: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s2.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Compiled != 0 {
+		t.Fatalf("warm session compiled %d variants, want 0 (stats %+v)", st.Compiled, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("warm session recorded no disk hits")
+	}
+	if second.Choice.Plan.Key() != first.Choice.Plan.Key() {
+		t.Fatal("warm session tuned to a different plan")
+	}
+}
+
+// TestAnalyzeCachedPerSession: repeat Analyze over one source returns the
+// identical Program, so core.Apply's plan-key memo is shared across
+// queries.
+func TestAnalyzeCachedPerSession(t *testing.T) {
+	s, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource()
+	p1, err := s.Analyze(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Analyze(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeat analysis returned a distinct Program")
+	}
+	p3, err := s.Analyze(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("distinct rank counts share one analysis")
+	}
+}

@@ -77,9 +77,17 @@ type Options struct {
 	// skipping the non-K knob flips — kept for ablation comparisons.
 	KOnly bool
 	// Engine selects the execution engine for every measured run; ""
-	// means exec.Default (the compiled engine, whose process-wide variant
-	// cache makes revisiting a candidate across machines nearly free).
+	// means exec.Default (the compiled engine, whose variant store makes
+	// revisiting a candidate across machines nearly free).
 	Engine exec.Engine
+	// Store backs the compile engine's variant cache for measured runs;
+	// nil selects the process-default store.
+	Store exec.VariantStore
+	// Memo, when non-nil, short-circuits the search for (fingerprint,
+	// machine) pairs tuned before and records fresh outcomes. The caller
+	// owns the aliasing assumption: programs that share an analysis
+	// fingerprint are handed each other's plans.
+	Memo *Memo
 }
 
 // Candidate is one evaluated whole-plan decision vector under one machine.
@@ -136,6 +144,9 @@ type Choice struct {
 	Evaluations    int         `json:"evaluations"`   // measured pre-push runs
 	SearchSimNs    int64       `json:"search_sim_ns"` // simulated time spent searching
 	Candidates     []Candidate `json:"candidates"`
+	// MemoHit marks a choice served from the plan memo: no search ran for
+	// this query; the recorded measurements are the original search's.
+	MemoHit bool `json:"memo_hit,omitempty"`
 }
 
 // siteState is one transformable site's search facts.
@@ -187,11 +198,25 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 		uniformLadder = mergeLadders(uniformLadder, st.ladder)
 	}
 
+	runner := exec.Runner{Engine: engine, Store: opts.Store}
+
 	var choices []Choice
 	for _, m := range in.Machines {
-		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly, engine)
+		var memoKey string
+		if opts.Memo != nil {
+			memoKey = MemoKey(core.Fingerprint(prog, m.Name), in, maxM, opts.KOnly, arrays)
+			if ch, ok := opts.Memo.Lookup(memoKey); ok {
+				ch.MemoHit = true
+				choices = append(choices, ch)
+				continue
+			}
+		}
+		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly, runner)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Memo != nil {
+			opts.Memo.Store(memoKey, ch)
 		}
 		choices = append(choices, ch)
 	}
@@ -244,7 +269,7 @@ type search struct {
 	sites   []siteState
 	arrays  []string
 	maxM    int
-	engine  exec.Engine
+	runner  exec.Runner
 
 	orig   *interp.Result
 	origNs int64
@@ -260,15 +285,15 @@ type search struct {
 // search, and the best-uniform baseline), then coordinate descent across
 // the sites.
 func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState,
-	uniformLadder []int64, arrays []string, maxM int, kOnly bool, engine exec.Engine) (Choice, error) {
+	uniformLadder []int64, arrays []string, maxM int, kOnly bool, runner exec.Runner) (Choice, error) {
 
-	orig, err := simulate(in.Source, in.NP, m, engine)
+	orig, err := simulate(in.Source, in.NP, m, runner)
 	if err != nil {
 		return Choice{}, fmt.Errorf("tune: original run under %s: %w", m.Name, err)
 	}
 	s := &search{
 		prog: prog, in: in, machine: m, sites: sites, arrays: arrays, maxM: maxM,
-		engine: engine,
+		runner: runner,
 		orig:   orig, origNs: int64(orig.Elapsed()),
 		measured: map[string]*Candidate{}, bySrc: map[string]*Candidate{},
 	}
@@ -534,7 +559,7 @@ func (s *search) evaluate(ds []plan.Decision, seeded bool) *Candidate {
 		return nil
 	}
 	s.runs++
-	res, err := simulate(src, s.in.NP, s.machine, s.engine)
+	res, err := simulate(src, s.in.NP, s.machine, s.runner)
 	if err != nil {
 		s.measured[key] = nil
 		return nil
@@ -703,9 +728,10 @@ func (s *search) best() *Candidate {
 }
 
 // simulate runs one variant on the virtual cluster under the machine's CPU
-// cost model and network profile, through the selected execution engine.
-func simulate(src string, np int, m plan.Machine, engine exec.Engine) (*interp.Result, error) {
-	return engine.Run(src, np, m.Costs, m.Profile)
+// cost model and network profile, through the selected execution engine
+// and its variant store.
+func simulate(src string, np int, m plan.Machine, runner exec.Runner) (*interp.Result, error) {
+	return runner.Run(src, np, m.Costs, m.Profile)
 }
 
 // sortedKeys returns the map's keys in ascending order.
