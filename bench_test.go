@@ -22,6 +22,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/plan"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -183,6 +184,40 @@ func BenchmarkEngineRun(b *testing.B) {
 	b.Run("compile", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := exec.EngineCompile.Run(sc.Source, sc.NP, m.Costs, m.Profile); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVerifyVariant prices the static verification tier against one
+// walk-engine run on the same variant: the correctness-tier cost ladder
+// (static verify → walk oracle) in numbers. Static verification re-parses
+// and re-analyzes but never executes, so it is the microsecond-scale
+// pre-vetting step a fleet dispatcher can afford on every cold query.
+func BenchmarkVerifyVariant(b *testing.B) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 4})[3]
+	pl := core.Options{K: sc.K}.Plan()
+	prog, err := core.Analyze(sc.Source, core.AnalyzeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, rep, err := core.Apply(prog, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := plan.MPICHGM2005()
+	b.Run("static-verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if diags := verify.Variant(prog, pl, out, rep); len(diags) != 0 {
+				b.Fatalf("clean variant flagged: %s", verify.Summarize(diags))
+			}
+		}
+	})
+	b.Run("walk-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.EngineWalk.Run(out, sc.NP, m.Costs, m.Profile); err != nil {
 				b.Fatal(err)
 			}
 		}

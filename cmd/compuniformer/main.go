@@ -23,12 +23,15 @@
 // dumped plan verbatim, ignoring the knob flags. -skip-sites marks the
 // named sites (or "all") as identity decisions — the transformation is
 // declined there and the site's code is left byte-for-byte untouched; a
-// plan file can express the same thing with "skip": true per decision. With -verify, both the
-// original and the transformed program are executed on the simulated
-// cluster under the selected machine models and their observable results
-// compared (the paper's §4 correctness protocol); a mismatch is a fatal
-// error. -engine picks the execution engine for those runs: the compiled
-// closure engine (default) or the tree-walking oracle.
+// plan file can express the same thing with "skip": true per decision. With -verify, the
+// static verification tier (internal/verify: translation validator + MPI
+// schedule linter) first re-proves the transformation without executing
+// anything, then both the original and the transformed program are executed
+// on the simulated cluster under the selected machine models and their
+// observable results compared (the paper's §4 correctness protocol); a
+// static finding or a dynamic mismatch is a fatal error. -engine picks the
+// execution engine for the dynamic runs: the compiled closure engine
+// (default) or the tree-walking oracle.
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/plan"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -50,7 +54,7 @@ func main() {
 	np := flag.Int64("np", 0, "target rank count (default: the program's 'np' parameter)")
 	machineName := flag.String("machine", "mpich-gm-2005", "machine model the plan targets (see internal/plan)")
 	report := flag.Bool("report", false, "print only the analysis report, not the transformed source")
-	verify := flag.Bool("verify", false, "run original and transformed on the simulator and compare results")
+	verifyFlag := flag.Bool("verify", false, "statically verify the transformation, then run original and transformed on the simulator and compare results")
 	engineName := flag.String("engine", "", "execution engine for -verify: compile (default) or walk (tree-walking oracle)")
 	wait := flag.String("wait", "", "wait schedule: deferred (default) or per-tile (the paper's §3.6 step 2)")
 	perTileWait := flag.Bool("per-tile-wait", false, "deprecated alias for -wait per-tile")
@@ -175,7 +179,16 @@ func main() {
 		}
 	}
 
-	if *verify && rep.TransformedCount() > 0 {
+	if *verifyFlag {
+		// Static tier first: it needs no execution, so its verdict arrives
+		// before any simulated run and catches schedule defects a lucky
+		// dynamic comparison could miss.
+		if diags := verify.Variant(prog, pl, out, rep); len(diags) > 0 {
+			fatal(fmt.Errorf("static verify: %s", verify.Summarize(diags)))
+		}
+		fmt.Fprintln(os.Stderr, "verify: static validator and MPI schedule linter clean")
+	}
+	if *verifyFlag && rep.TransformedCount() > 0 {
 		// The plan's NP wins when -np is unset: a replayed plan may have
 		// specialized the transformation for its own rank count.
 		npv := *np

@@ -17,10 +17,18 @@
 //	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
 //	           [-machines a,b] [-engine compile|walk] [-parallel N]
 //	           [-min 20] [-q] [-tune] [-tunemax N] [-tune-konly]
-//	           [-cache-dir DIR]
+//	           [-cache-dir DIR] [-verify]
 //	           [-check-baseline BENCH_harness.json] [-baseline-tol 0.01]
 //	           [-summary-md path]
 //	evalrunner -merge -out merged.json shard0.json shard1.json ...
+//
+// -verify runs the static verification tier (internal/verify: the
+// translation validator plus the MPI schedule linter) over every (program,
+// plan) variant the sweep touches — the fixed variant, every measured tuner
+// candidate, and every chosen plan — deduplicated by content hash. With
+// -cache-dir the clean verdicts persist as ledger markers next to the
+// variants, so a warm sweep re-verifies nothing. Any static finding fails
+// the run (exit 1); the findings are listed per scenario on stderr.
 //
 // -engine selects the execution engine: "compile" (default) lowers every
 // (program, plan) variant once into a closure program, shared through the
@@ -100,6 +108,7 @@ func main() {
 	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
 	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory so sweeps sharing it start warm ('' = in-memory only)")
+	verifyFlag := flag.Bool("verify", false, "statically verify every (program, plan) variant the sweep touches; any finding fails the run")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
 	engineName := flag.String("engine", "", "execution engine: compile (default; cached closure programs) or walk (tree-walking oracle)")
 	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
@@ -110,7 +119,7 @@ func main() {
 	engine, err := validateFlags(cliFlags{
 		Merge: *merge, Shard: *shard, Tune: *tuneFlag, TuneKOnly: *konly,
 		TuneMax: *tuneMax, Engine: *engineName, Parallel: *parallel,
-		Limit: *limit, CacheDir: *cacheDir,
+		Limit: *limit, CacheDir: *cacheDir, Verify: *verifyFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -181,7 +190,7 @@ func main() {
 	rep, err := harness.Run(harness.Config{
 		Scenarios: scenarios, Machines: machines, Parallelism: *parallel,
 		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax, TuneKOnly: *konly,
-		Engine: engine, Session: sess,
+		Engine: engine, Session: sess, Verify: *verifyFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -192,6 +201,11 @@ func main() {
 	} else {
 		fmt.Printf("%d scenarios, %d identical, %d errors\n",
 			rep.Summary.Scenarios, rep.Summary.Correct, rep.Summary.Errors)
+	}
+	if *verifyFlag {
+		fmt.Printf("statically verified %d variant(s) (%d skipped via ledger, %d finding(s), %.1fms)\n",
+			rep.Summary.VerifiedVariants, rep.Summary.VerifySkipped,
+			rep.Summary.VerifyFailures, float64(rep.Summary.VerifyWallNs)/1e6)
 	}
 
 	if *out != "" {
@@ -231,6 +245,7 @@ type cliFlags struct {
 	Parallel  int
 	Limit     int
 	CacheDir  string
+	Verify    bool
 }
 
 // validateFlags rejects mutually-inconsistent flag combinations and
@@ -255,6 +270,9 @@ func validateFlags(f cliFlags) (exec.Engine, error) {
 	}
 	if f.Merge && f.CacheDir != "" {
 		return "", fmt.Errorf("-cache-dir persists a sweep's compiled variants; -merge only folds artifacts and compiles nothing")
+	}
+	if f.Merge && f.Verify {
+		return "", fmt.Errorf("-verify statically checks variants as a sweep generates them; -merge only folds artifacts, which already carry their shards' verify counters")
 	}
 	if f.CacheDir != "" && engine == exec.EngineWalk {
 		return "", fmt.Errorf("-cache-dir persists compiled variants; the walk engine re-interprets sources and compiles nothing")
@@ -395,6 +413,19 @@ func gates(rep *harness.Report, aggregate, strict, tuned bool) bool {
 	if rep.Summary.NonPositive > 0 {
 		fmt.Fprintf(os.Stderr, "evalrunner: %d non-positive speedup measurement(s) — timing pathology\n",
 			rep.Summary.NonPositive)
+		ok = false
+	}
+	// The static-verification gate is per-variant, not aggregate: a finding
+	// on any shard fails that shard (and survives a -merge via the summed
+	// counter), because a flagged variant means the pipeline emitted code it
+	// cannot statically justify.
+	if rep.Summary.VerifyFailures > 0 {
+		fmt.Fprintf(os.Stderr, "evalrunner: static verifier reported %d finding(s):\n", rep.Summary.VerifyFailures)
+		for _, o := range rep.Scenarios {
+			for _, f := range o.VerifyFailures {
+				fmt.Fprintf(os.Stderr, "evalrunner:   %s: %s\n", o.Name, f)
+			}
+		}
 		ok = false
 	}
 	// Hard per-row invariant: with skip in plan space the tuner always holds

@@ -35,6 +35,10 @@ func TestValidateFlags(t *testing.T) {
 		{name: "cache dir sweep", f: cliFlags{CacheDir: "varcache"}, engine: exec.EngineCompile},
 		{name: "cache dir with merge", f: cliFlags{Merge: true, CacheDir: "varcache"}, wantErr: "-cache-dir"},
 		{name: "cache dir with walk engine", f: cliFlags{CacheDir: "varcache", Engine: "walk"}, wantErr: "-cache-dir"},
+		{name: "verify sweep", f: cliFlags{Verify: true}, engine: exec.EngineCompile},
+		{name: "verify tuned sweep with cache dir", f: cliFlags{Verify: true, Tune: true, CacheDir: "varcache"}, engine: exec.EngineCompile},
+		{name: "verify with walk engine", f: cliFlags{Verify: true, Engine: "walk"}, engine: exec.EngineWalk},
+		{name: "verify with merge", f: cliFlags{Merge: true, Verify: true}, wantErr: "-verify"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -103,6 +107,28 @@ func TestOffloadGates(t *testing.T) {
 				t.Errorf("gates(%+v, tuned=%v, strict=%v) = %v, want %v", c.ps, c.tuned, c.strict, got, c.want)
 			}
 		})
+	}
+}
+
+// TestVerifyGate: any static-verification finding fails the gate, shard or
+// not — a flagged variant means the pipeline emitted code it cannot justify,
+// and the summed counter keeps the gate alive through a -merge.
+func TestVerifyGate(t *testing.T) {
+	clean := &harness.Report{Schema: harness.Schema, Summary: harness.Summary{
+		Scenarios: 1, Correct: 1, VerifiedVariants: 7,
+	}}
+	if !gates(clean, false, false, false) {
+		t.Error("clean verified shard failed the gate")
+	}
+	dirty := &harness.Report{Schema: harness.Schema, Summary: harness.Summary{
+		Scenarios: 1, Correct: 1, VerifyFailures: 1,
+	}}
+	dirty.Scenarios = []harness.Outcome{{Name: "s", VerifyFailures: []string{"tile-coverage: ..."}}}
+	if gates(dirty, false, false, false) {
+		t.Error("verify finding passed the gate")
+	}
+	if gates(dirty, true, true, false) {
+		t.Error("verify finding passed the aggregate gate")
 	}
 }
 

@@ -12,17 +12,23 @@
 //
 //	POST /plan    — body: a JSON query {source, machine, np, fixed_k?,
 //	                max_measured?, k_only?, arrays?}; response: the tuning
-//	                result {fingerprint, memo_hit, choice} where
-//	                choice.plan is the replayable overlap plan. The first
-//	                query for a (program shape, machine, search params)
-//	                tuple runs the seeded measured search; repeats are
-//	                served from the analysis-fingerprint memo with
-//	                memo_hit=true and no new search or compiles.
+//	                result {fingerprint, memo_hit, choice, verify} where
+//	                choice.plan is the replayable overlap plan and verify
+//	                is the static-verification verdict on the chosen
+//	                plan's variant ({checked, clean, findings?}). The
+//	                first query for a (program shape, machine, search
+//	                params) tuple runs the seeded measured search; repeats
+//	                are served from the analysis-fingerprint memo with
+//	                memo_hit=true and no new search or compiles. Clean
+//	                verify verdicts land in the session store's ledger, so
+//	                repeats (and, with -cache-dir, restarts) skip
+//	                re-verification.
 //	GET  /stats   — the session's store and memo counters as JSON.
 //	GET  /healthz — liveness probe; always "ok".
 //
 // A rejected query (no source, np < 1, unknown machine, malformed JSON)
-// gets 400 with {"error": ...}; a search failure gets 500 the same way.
+// gets 400 with {"error": ...}; a body over the 16 MiB cap gets a JSON 413;
+// a search failure gets 500 the same way.
 // -cache-dir backs the session's variant store with the content-addressed
 // on-disk layer shared with evalrunner, so a restarted server starts warm
 // on every variant it ever compiled.
@@ -30,16 +36,18 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/session"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -90,12 +98,25 @@ func newMux(s *session.Session) *http.ServeMux {
 			return
 		}
 		var q session.Query
-		// A capped reader keeps an accidental multi-gigabyte body from
+		// A capped body keeps an accidental multi-gigabyte upload from
 		// parking in memory; real queries are a few kilobytes of Fortran.
-		dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+		// MaxBytesReader (unlike a bare LimitReader) closes the connection
+		// and lets the cap be told apart from ordinary JSON garbage.
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBytes)
+		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&q); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("query body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+			return
+		}
+		if strings.TrimSpace(q.Source) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query needs a non-empty program source"))
 			return
 		}
 		res, err := s.Plan(q)
@@ -109,7 +130,7 @@ func newMux(s *session.Session) *http.ServeMux {
 			writeError(w, status, err)
 			return
 		}
-		writeJSON(w, res)
+		writeJSON(w, planResponse{Result: res, Verify: verifyChoice(s, q, res)})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -124,6 +145,66 @@ func newMux(s *session.Session) *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// maxQueryBytes caps a /plan request body (16 MiB — three orders of
+// magnitude above any real query, small enough to be harmless to hold).
+const maxQueryBytes = 16 << 20
+
+// verifyStatus is the static-verification verdict a /plan response carries:
+// the chosen plan's variant re-proven by the translation validator and the
+// MPI schedule linter, without executing anything.
+type verifyStatus struct {
+	// Checked reports whether the static tier ran (it is skipped only when
+	// the variant could not be regenerated).
+	Checked bool `json:"checked"`
+	// Clean reports a finding-free verdict.
+	Clean bool `json:"clean"`
+	// Findings are the rendered diagnostics of a dirty verdict.
+	Findings []string `json:"findings,omitempty"`
+}
+
+// planResponse is the /plan payload: the session's tuning result plus the
+// static verdict on the chosen plan.
+type planResponse struct {
+	*session.Result
+	Verify verifyStatus `json:"verify"`
+}
+
+// verifyChoice statically verifies the chosen plan's variant. Clean verdicts
+// are recorded in the session store's verify ledger (keyed by the
+// original+transformed content pair), so a repeated query — or a restarted
+// server sharing an on-disk store — answers from the ledger without
+// re-proving anything.
+func verifyChoice(s *session.Session, q session.Query, res *session.Result) verifyStatus {
+	if res.Choice.Plan == nil {
+		return verifyStatus{}
+	}
+	prog, err := s.Analyze(q.Source, int64(q.NP))
+	if err != nil {
+		return verifyStatus{}
+	}
+	out, rep, err := core.Apply(prog, res.Choice.Plan)
+	if err != nil {
+		return verifyStatus{Checked: true, Findings: []string{"apply: " + err.Error()}}
+	}
+	key := exec.KeyOf(prog.Source() + "\x00" + out)
+	ledger, _ := s.Store().(exec.VerifyLedger)
+	if ledger != nil && ledger.Verified(key) {
+		return verifyStatus{Checked: true, Clean: true}
+	}
+	diags := verify.Variant(prog, res.Choice.Plan, out, rep)
+	if len(diags) == 0 {
+		if ledger != nil {
+			ledger.MarkVerified(key)
+		}
+		return verifyStatus{Checked: true, Clean: true}
+	}
+	findings := make([]string, len(diags))
+	for i, d := range diags {
+		findings[i] = d.String()
+	}
+	return verifyStatus{Checked: true, Findings: findings}
 }
 
 // isQueryError reports whether a Plan failure was caused by the query

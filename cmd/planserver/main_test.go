@@ -199,6 +199,82 @@ func TestServerRejectsBadQueries(t *testing.T) {
 	}
 }
 
+// TestServerCapsBody: a body over the 16 MiB cap is a JSON 413, not an OOM
+// and not a generic 400.
+func TestServerCapsBody(t *testing.T) {
+	base := startServer(t)
+	huge := `{"source": "` + strings.Repeat("x", maxQueryBytes+1) + `"}`
+	resp, err := http.Post(base+"/plan", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e["error"], "exceeds") {
+		t.Fatalf("oversized body: error %q (%v), want a JSON size message", e["error"], err)
+	}
+}
+
+// TestServerRejectsEmptySource: an empty (or all-whitespace) source is a
+// 400 naming the field, rejected before any analysis runs.
+func TestServerRejectsEmptySource(t *testing.T) {
+	base := startServer(t)
+	for _, src := range []string{"", "   \n\t"} {
+		res, resp := postPlan(t, base, session.Query{Source: src, Machine: "mpich-gm-2005", NP: 4})
+		if res != nil || resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("source %q: status %d, want 400", src, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e["error"], "source") {
+			t.Errorf("source %q: error %q (%v), want it to name the source field", src, e["error"], err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestPlanResponseVerifyStatus: every /plan answer carries the static
+// verdict on the chosen plan, and a tuned plan over a well-formed program
+// verifies clean.
+func TestPlanResponseVerifyStatus(t *testing.T) {
+	base := startServer(t)
+	q := session.Query{
+		Source:  workload.DirectSource(workload.DirectParams{NX: 4096, NP: 4}),
+		Machine: "mpich-gm-2005",
+		NP:      4,
+	}
+	post := func() verifyStatus {
+		t.Helper()
+		body, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /plan = %d, want 200", resp.StatusCode)
+		}
+		var pr planResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Verify
+	}
+	cold := post()
+	if !cold.Checked || !cold.Clean || len(cold.Findings) != 0 {
+		t.Fatalf("cold verify status %+v, want checked and clean", cold)
+	}
+	warm := post()
+	if !warm.Checked || !warm.Clean {
+		t.Fatalf("warm verify status %+v, want checked and clean (from the ledger)", warm)
+	}
+}
+
 func getJSON(t *testing.T, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -1,0 +1,268 @@
+// Command repolint enforces the repository's own code invariants with a
+// stdlib go/ast pass — the ones regressions keep trying to reintroduce:
+//
+//  1. No package-level mutable state outside an explicit allowlist.
+//     Process-global state breaks session isolation (concurrent sweeps must
+//     not share counters) and reproducibility. Error sentinels
+//     (`var Err... = errors.New/fmt.Errorf(...)`) and blank-identifier
+//     assertions (`var _ Iface = ...`) are allowed automatically; anything
+//     else needs an allowlist entry next to a reason.
+//  2. No time.Now/time.Since in deterministic packages. Every measured
+//     number must come from the simulated clock so reports are
+//     bit-reproducible; only internal/harness may read the wall clock (its
+//     wall-time counters are explicitly volatile and normalized away by the
+//     tests).
+//  3. Memo hygiene in internal/tune: any function that touches the memo's
+//     entries map must route the Choice through cloneChoice, so the memo
+//     stores deep copies and hands out deep copies — callers annotate their
+//     Choice without corrupting the cache.
+//
+// Usage:
+//
+//	repolint [dir]
+//
+// dir defaults to ".". Test files (_test.go) are exempt from rule 1 and 2 —
+// tests legitimately use fixtures and wall-clock bounds. Exit status is 1
+// when any finding is reported, 2 on a usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// allowedGlobals is the package-level mutable state the repository accepts,
+// keyed by "<package dir>:<identifier>". Every entry carries its reason —
+// an addition here is a design decision, not a lint appeasement.
+var allowedGlobals = map[string]string{
+	// The zero-configuration fallback store behind Engine.Run; sessions
+	// inject their own store and never touch it.
+	"internal/exec:defaultStoreOnce": "process-default store is lazily built exactly once",
+	"internal/exec:defaultStore":     "process-default store for store-less callers",
+	// Immutable lookup tables built once at init and only ever read.
+	"internal/ftn:tokNames":     "token-kind name table (read-only)",
+	"internal/ftn:dotOps":       "Fortran dot-operator table (read-only)",
+	"internal/ftn:relOps":       "relational-operator spelling table (read-only)",
+	"internal/plan:aliases":     "machine-name alias table (read-only)",
+	"internal/interp:mpiConsts": "MPI named-constant table (read-only)",
+	// The linter's own configuration tables (read-only).
+	"cmd/repolint:allowedGlobals":  "this allowlist",
+	"cmd/repolint:wallClockExempt": "wall-clock exemption table (read-only)",
+}
+
+// deterministicRoot is the tree where wall-clock reads are banned; the
+// packages under it compute simulated time only.
+const deterministicRoot = "internal"
+
+// wallClockExempt lists deterministic-tree packages allowed to read the
+// wall clock (reported as explicitly volatile counters).
+var wallClockExempt = map[string]bool{
+	"internal/harness": true,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: repolint [dir]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	root := "."
+	if flag.NArg() == 1 {
+		root = flag.Arg(0)
+	}
+	findings, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks a module tree and lints every non-test Go file.
+func lintTree(root string) ([]string, error) {
+	var findings []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, lintFile(fset, filepath.ToSlash(rel), f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// lintFile applies every rule to one parsed file; rel is the file path
+// relative to the module root (slash-separated).
+func lintFile(fset *token.FileSet, rel string, f *ast.File) []string {
+	var findings []string
+	pkgDir := filepath.ToSlash(filepath.Dir(rel))
+	isTest := strings.HasSuffix(rel, "_test.go")
+
+	report := func(pos token.Pos, rule, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s: %s",
+			fset.Position(pos), rule, fmt.Sprintf(format, args...)))
+	}
+
+	if !isTest {
+		lintGlobals(pkgDir, f, report)
+		lintWallClock(pkgDir, f, report)
+	}
+	lintMemoClone(pkgDir, f, report)
+	return findings
+}
+
+type reportFn func(pos token.Pos, rule, format string, args ...any)
+
+// lintGlobals flags package-level var declarations that are neither
+// auto-allowed (blank assertions, error sentinels) nor allowlisted.
+func lintGlobals(pkgDir string, f *ast.File, report reportFn) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue // interface-satisfaction assertion
+				}
+				if i < len(vs.Values) && isErrorSentinel(vs.Values[i]) {
+					continue
+				}
+				if _, ok := allowedGlobals[pkgDir+":"+name.Name]; ok {
+					continue
+				}
+				report(name.Pos(), "mutable-global",
+					"package-level var %s is mutable process state; scope it to a session or allowlist it with a reason", name.Name)
+			}
+		}
+	}
+}
+
+// isErrorSentinel reports whether a value is an errors.New or fmt.Errorf
+// call — the conventional immutable error sentinel.
+func isErrorSentinel(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return (pkg.Name == "errors" && sel.Sel.Name == "New") ||
+		(pkg.Name == "fmt" && sel.Sel.Name == "Errorf")
+}
+
+// lintWallClock flags time.Now/time.Since in deterministic packages.
+func lintWallClock(pkgDir string, f *ast.File, report reportFn) {
+	if !strings.HasPrefix(pkgDir, deterministicRoot+"/") || wallClockExempt[pkgDir] {
+		return
+	}
+	if !importsPackage(f, "time") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "time" &&
+			(sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
+			report(sel.Pos(), "wall-clock",
+				"time.%s in deterministic package %s; measured numbers must come from the simulated clock", sel.Sel.Name, pkgDir)
+		}
+		return true
+	})
+}
+
+// importsPackage reports whether the file imports the named stdlib package
+// under its default name.
+func importsPackage(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path && (imp.Name == nil || imp.Name.Name == path) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintMemoClone enforces the deep-copy contract of the plan memo: any
+// function in internal/tune whose body indexes the entries map must call
+// cloneChoice — dropping the clone aliases cached Choices into callers.
+func lintMemoClone(pkgDir string, f *ast.File, report reportFn) {
+	if pkgDir != "internal/tune" {
+		return
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		touchesEntries := false
+		callsClone := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "entries" {
+					touchesEntries = true
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "cloneChoice" {
+					callsClone = true
+				}
+			}
+			return true
+		})
+		if touchesEntries && !callsClone {
+			report(fd.Pos(), "memo-alias",
+				"%s touches the memo's entries map without cloneChoice; the memo must store and hand out deep copies", fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lintSrc parses a synthetic file as if it lived at rel and lints it.
+func lintSrc(t *testing.T, rel, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, rel, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, rel, f)
+}
+
+func wantRule(t *testing.T, findings []string, rule string) {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Contains(f, rule) {
+			return
+		}
+	}
+	t.Errorf("no %s finding in %v", rule, findings)
+}
+
+func TestMutableGlobalRule(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  string
+		src  string
+		want bool // a mutable-global finding expected
+	}{
+		{name: "plain mutable var", rel: "internal/foo/a.go", want: true,
+			src: "package foo\nvar cache = map[string]int{}\n"},
+		{name: "error sentinel errors.New", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nimport \"errors\"\nvar ErrBad = errors.New(\"bad\")\n"},
+		{name: "error sentinel fmt.Errorf", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nimport \"fmt\"\nvar errStop = fmt.Errorf(\"stop\")\n"},
+		{name: "blank assertion", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nvar _ error = (*myErr)(nil)\ntype myErr struct{}\nfunc (*myErr) Error() string { return \"\" }\n"},
+		{name: "allowlisted", rel: "internal/plan/machine.go", want: false,
+			src: "package plan\nvar aliases = map[string]string{}\n"},
+		{name: "allowlist is per package", rel: "internal/foo/a.go", want: true,
+			src: "package foo\nvar aliases = map[string]string{}\n"},
+		{name: "test file exempt", rel: "internal/foo/a_test.go", want: false,
+			src: "package foo\nvar fixtures = map[string]int{}\n"},
+		{name: "const is not state", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nconst limit = 3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			findings := lintSrc(t, c.rel, c.src)
+			if c.want {
+				wantRule(t, findings, "mutable-global")
+			} else if len(findings) != 0 {
+				t.Errorf("unexpected findings: %v", findings)
+			}
+		})
+	}
+}
+
+func TestWallClockRule(t *testing.T) {
+	src := "package foo\nimport \"time\"\nfunc f() int64 { return time.Now().UnixNano() }\n"
+	wantRule(t, lintSrc(t, "internal/foo/a.go", src), "wall-clock")
+
+	since := "package foo\nimport \"time\"\nfunc f(t0 time.Time) time.Duration { return time.Since(t0) }\n"
+	wantRule(t, lintSrc(t, "internal/foo/a.go", since), "wall-clock")
+
+	// The harness is exempt; cmd/ and test files are out of scope.
+	for _, rel := range []string{"internal/harness/a.go", "cmd/foo/a.go", "internal/foo/a_test.go"} {
+		if findings := lintSrc(t, rel, src); len(findings) != 0 {
+			t.Errorf("%s: unexpected findings %v", rel, findings)
+		}
+	}
+
+	// Durations and the type itself are fine — only wall-clock reads are
+	// banned.
+	ok := "package foo\nimport \"time\"\nconst tick = 5 * time.Millisecond\n"
+	if findings := lintSrc(t, "internal/foo/a.go", ok); len(findings) != 0 {
+		t.Errorf("duration constant flagged: %v", findings)
+	}
+}
+
+func TestMemoCloneRule(t *testing.T) {
+	aliasing := `package tune
+type Memo struct{ entries map[string]Choice }
+type Choice struct{}
+func (m *Memo) Lookup(k string) (Choice, bool) { ch, ok := m.entries[k]; return ch, ok }
+`
+	wantRule(t, lintSrc(t, "internal/tune/memo.go", aliasing), "memo-alias")
+
+	cloned := `package tune
+type Memo struct{ entries map[string]Choice }
+type Choice struct{}
+func cloneChoice(ch Choice) Choice { return ch }
+func (m *Memo) Lookup(k string) (Choice, bool) { ch, ok := m.entries[k]; return cloneChoice(ch), ok }
+`
+	if findings := lintSrc(t, "internal/tune/memo.go", cloned); len(findings) != 0 {
+		t.Errorf("cloned lookup flagged: %v", findings)
+	}
+
+	// The rule is scoped to internal/tune.
+	elsewhere := strings.Replace(aliasing, "package tune", "package foo", 1)
+	if findings := lintSrc(t, "internal/foo/memo.go", elsewhere); len(findings) != 0 {
+		t.Errorf("out-of-scope memo code flagged: %v", findings)
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the repository itself must lint
+// clean (the CI lint job runs the binary; this keeps `go test ./...`
+// equivalent).
+func TestRepoIsClean(t *testing.T) {
+	findings, err := lintTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}

@@ -140,6 +140,9 @@ type applied struct {
 // Source returns the original (untransformed) source text.
 func (p *Program) Source() string { return p.src }
 
+// Options returns the analysis options the program was analyzed under.
+func (p *Program) Options() AnalyzeOptions { return p.opts }
+
 // Site returns the analyzed site at the given plan key, or nil.
 func (p *Program) Site(key string) *Site {
 	for i := range p.Sites {

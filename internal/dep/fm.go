@@ -263,8 +263,14 @@ func (s *System) Solve() Feasibility {
 			continue
 		}
 		for _, lo := range lows {
+			if maxAbsCoef(lo) > coefLimit {
+				return Unknown
+			}
 			a := lo.coefOf(v)
 			for _, hi := range highs {
+				if maxAbsCoef(hi) > coefLimit {
+					return Unknown
+				}
 				b := -hi.coefOf(v)
 				// lo: a·v + Lrest ≥ 0  →  a·v ≥ -Lrest
 				// hi: -b·v + Hrest ≥ 0 →  b·v ≤ Hrest
@@ -307,6 +313,34 @@ func (s *System) Solve() Feasibility {
 		return Feasible
 	}
 	return Unknown
+}
+
+// coefLimit bounds coefficient growth during elimination. Combining two
+// rows multiplies coefficients pairwise; with every input magnitude at most
+// coefLimit (2³⁰) the products stay under 2⁶⁰ and their sums under 2⁶², so
+// int64 arithmetic cannot overflow within one round. A row that grows past
+// the limit makes the solver answer Unknown — the conservative verdict
+// (treated as feasible by dependence tests) — instead of deciding from
+// silently wrapped numbers.
+const coefLimit = 1 << 30
+
+// maxAbsCoef returns the largest magnitude among a row's coefficients and
+// constant.
+func maxAbsCoef(c Constraint) int64 {
+	m := c.Const
+	if m < 0 {
+		m = -m
+	}
+	for _, t := range c.Terms {
+		k := t.Coef
+		if k < 0 {
+			k = -k
+		}
+		if k > m {
+			m = k
+		}
+	}
+	return m
 }
 
 // replacement is v := ±(terms + constant) used for equality substitution.

@@ -80,6 +80,18 @@ type VariantStore interface {
 	Stats() StoreStats
 }
 
+// VerifyLedger is the optional verified-hash side table a variant store may
+// carry: content keys whose variants already passed static verification, so
+// a warm hit (same process, or a shared on-disk store in a later process)
+// never pays for re-verification. Both built-in stores implement it; callers
+// discover it by type assertion so third-party stores may decline.
+type VerifyLedger interface {
+	// MarkVerified records that the keyed variant verified clean.
+	MarkVerified(key Key)
+	// Verified reports whether the keyed variant is known clean.
+	Verified(key Key) bool
+}
+
 // storeEntry is one variant's single-flight slot.
 type storeEntry struct {
 	once sync.Once
@@ -91,14 +103,29 @@ type storeEntry struct {
 // content, single-flight, scoped to the instance. A cache hit returns the
 // identical *Program pointer.
 type MemStore struct {
-	mu      sync.Mutex
-	entries map[Key]*storeEntry
-	stats   StoreStats
+	mu       sync.Mutex
+	entries  map[Key]*storeEntry
+	verified map[Key]bool
+	stats    StoreStats
 }
 
 // NewMemStore returns an empty in-memory variant store.
 func NewMemStore() *MemStore {
-	return &MemStore{entries: map[Key]*storeEntry{}}
+	return &MemStore{entries: map[Key]*storeEntry{}, verified: map[Key]bool{}}
+}
+
+// MarkVerified implements VerifyLedger (in-memory only).
+func (m *MemStore) MarkVerified(key Key) {
+	m.mu.Lock()
+	m.verified[key] = true
+	m.mu.Unlock()
+}
+
+// Verified implements VerifyLedger.
+func (m *MemStore) Verified(key Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verified[key]
 }
 
 // lookup returns the entry for key, creating it when absent; existed
@@ -272,6 +299,46 @@ func (d *DiskStore) Put(src string) error {
 		return nil
 	}
 	return d.write(key, src)
+}
+
+// verifiedPath is the verified-hash marker of a key: an empty side file
+// whose name is the content key, so its mere (atomic-rename) existence
+// asserts "the variant with this hash verified clean".
+func (d *DiskStore) verifiedPath(key Key) string {
+	return filepath.Join(d.dir, key.String()+".ok")
+}
+
+// MarkVerified implements VerifyLedger: the key is recorded in memory and
+// as a durable side marker, so a later process sharing the directory skips
+// re-verification. Marker-write failures are deliberately swallowed — the
+// ledger is an optimization, never a correctness dependency.
+func (d *DiskStore) MarkVerified(key Key) {
+	d.mem.MarkVerified(key)
+	tmp, err := os.CreateTemp(d.dir, ".tmp-ok-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.verifiedPath(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Verified implements VerifyLedger: memory first, then the durable marker
+// (hoisted into memory on a hit).
+func (d *DiskStore) Verified(key Key) bool {
+	if d.mem.Verified(key) {
+		return true
+	}
+	if _, err := os.Stat(d.verifiedPath(key)); err != nil {
+		return false
+	}
+	d.mem.MarkVerified(key)
+	return true
 }
 
 // Stats implements VariantStore.

@@ -248,3 +248,59 @@ func TestDiskStoreDefaultDirIsUserScoped(t *testing.T) {
 		t.Fatalf("default dir not created: %v", err)
 	}
 }
+
+// TestVerifyLedger: both built-in stores carry the verified-hash side table,
+// and the disk store's markers survive a "process restart" (a second store
+// instance over the same directory).
+func TestVerifyLedger(t *testing.T) {
+	key := exec.KeyOf("program bytes")
+	other := exec.KeyOf("different bytes")
+
+	t.Run("mem", func(t *testing.T) {
+		var store exec.VariantStore = exec.NewMemStore()
+		l, ok := store.(exec.VerifyLedger)
+		if !ok {
+			t.Fatal("MemStore does not implement VerifyLedger")
+		}
+		if l.Verified(key) {
+			t.Fatal("fresh ledger claims a key verified")
+		}
+		l.MarkVerified(key)
+		if !l.Verified(key) {
+			t.Error("marked key not reported verified")
+		}
+		if l.Verified(other) {
+			t.Error("unmarked key reported verified")
+		}
+	})
+
+	t.Run("disk", func(t *testing.T) {
+		dir := t.TempDir()
+		d1, err := exec.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l1 exec.VerifyLedger = d1
+		if l1.Verified(key) {
+			t.Fatal("fresh ledger claims a key verified")
+		}
+		l1.MarkVerified(key)
+		if !l1.Verified(key) {
+			t.Error("marked key not reported verified in-process")
+		}
+
+		// A second store over the same directory models a later process:
+		// the durable marker must carry the verdict across.
+		d2, err := exec.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l2 exec.VerifyLedger = d2
+		if !l2.Verified(key) {
+			t.Error("durable marker not honored by a fresh store instance")
+		}
+		if l2.Verified(other) {
+			t.Error("unmarked key reported verified")
+		}
+	})
+}

@@ -73,6 +73,17 @@ type Config struct {
 	// TuneKOnly restricts the search to the tile size (the historical
 	// K-only tuner), for ablation sweeps.
 	TuneKOnly bool
+	// Verify enables the static verification tier: every (program, plan)
+	// variant the sweep touches — the fixed variant, every measured tuner
+	// candidate, and each chosen plan — is re-proven by the translation
+	// validator and MPI schedule linter (internal/verify), no execution
+	// involved. Verified variant hashes are recorded on the session store's
+	// ledger (when it keeps one), so repeat sweeps — and warm processes
+	// sharing an on-disk store — skip re-verification entirely. Findings
+	// land in each scenario's verify_failures and the summary counters;
+	// they do not mark the scenario errored (the dynamic oracle verdict
+	// stays independent).
+	Verify bool
 	// Engine selects the execution engine: exec.EngineCompile (default)
 	// compiles each (program, plan) variant once into a closure program,
 	// shared through the sweep session's variant store; exec.EngineWalk
@@ -137,6 +148,12 @@ type Outcome struct {
 	// Tuned holds the per-machine plan-search results (tuned mode only):
 	// the chosen plan decision, tuned speedup, and search cost.
 	Tuned []TunedRun `json:"tuned,omitempty"`
+
+	// VerifyFailures holds the static verifier's findings against this
+	// scenario's variants (verify mode only; empty means every variant
+	// re-proved clean). One line per diagnostic, machine-readable code
+	// first.
+	VerifyFailures []string `json:"verify_failures,omitempty"`
 }
 
 // TunedRun is one (scenario, machine) plan-search result. Every candidate
@@ -245,6 +262,17 @@ type Summary struct {
 	// SweepWallNs is the scheduler's wall-clock cost for this sweep (the
 	// quantity the engine exists to shrink); merge sums shard walls.
 	SweepWallNs int64 `json:"sweep_wall_ns"`
+	// Static verification counters (verify mode only; omitted otherwise so
+	// pre-verify artifacts stay byte-identical). VerifiedVariants counts
+	// variants freshly re-proven this sweep; VerifySkipped counts variants
+	// whose hash the store ledger already knew clean (a warm sweep re-
+	// verifies nothing); VerifyFailures counts diagnostics across all
+	// variants; VerifyWallNs is the verifier's wall-clock cost. Merge sums
+	// all four.
+	VerifiedVariants int64 `json:"verified_variants,omitempty"`
+	VerifySkipped    int64 `json:"verify_skipped,omitempty"`
+	VerifyFailures   int64 `json:"verify_failures,omitempty"`
+	VerifyWallNs     int64 `json:"verify_wall_ns,omitempty"`
 }
 
 // ProfileSummary is one machine's aggregate row.
@@ -340,9 +368,14 @@ func Run(cfg Config) (*Report, error) {
 	wallStart := time.Now()
 	storeBefore := sess.Store().Stats()
 
+	var vt *verifyTracker
+	if cfg.Verify {
+		vt = newVerifyTracker(sess.Store())
+	}
+
 	states := make([]*scenarioState, len(scenarios))
 	for i, sc := range scenarios {
-		states[i] = newScenarioState(sc, machines, arrays, sess, memoPlans)
+		states[i] = newScenarioState(sc, machines, arrays, sess, memoPlans, vt)
 	}
 
 	nm := len(machines)
@@ -378,6 +411,10 @@ func Run(cfg Config) (*Report, error) {
 	rep.Summary.CacheHits = delta.Hits
 	rep.Summary.DiskHits = delta.DiskHits
 	rep.Summary.SweepWallNs = time.Since(wallStart).Nanoseconds()
+	if vt != nil {
+		rep.Summary.VerifiedVariants, rep.Summary.VerifySkipped,
+			rep.Summary.VerifyFailures, rep.Summary.VerifyWallNs = vt.counts()
+	}
 	return rep, nil
 }
 
@@ -433,6 +470,12 @@ type scenarioState struct {
 	// memoPlans gates the plan memo for wave 2 (only explicit shared
 	// sessions memoize plans across queries).
 	memoPlans bool
+	// verify, when non-nil, is the sweep-wide static verification tracker;
+	// verifyFixed holds the fixed variant's findings, verifyTuned the
+	// per-machine tuned-search findings.
+	verify      *verifyTracker
+	verifyFixed []string
+	verifyTuned [][]string
 
 	fixedPlan *plan.Plan
 
@@ -451,25 +494,27 @@ type scenarioState struct {
 	tuneErr  []string
 }
 
-func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []string, sess *session.Session, memoPlans bool) *scenarioState {
+func newScenarioState(sc workload.Scenario, machines []plan.Machine, arrays []string, sess *session.Session, memoPlans bool, vt *verifyTracker) *scenarioState {
 	// A scenario naming its own observable arrays (multi-site kernels have
 	// one receive array per exchange) overrides the sweep default.
 	if len(sc.Arrays) > 0 {
 		arrays = sc.Arrays
 	}
 	return &scenarioState{
-		sc:        sc,
-		machines:  machinesFor(sc, machines),
-		arrays:    arrays,
-		sess:      sess,
-		runner:    sess.Runner(),
-		memoPlans: memoPlans,
-		fixedPlan: core.Options{K: sc.K}.Plan(),
-		profiles:  make([]ProfileRun, len(machines)),
-		runErr:    make([]string, len(machines)),
-		mismatch:  make([]string, len(machines)),
-		tuned:     make([]*TunedRun, len(machines)),
-		tuneErr:   make([]string, len(machines)),
+		sc:          sc,
+		machines:    machinesFor(sc, machines),
+		arrays:      arrays,
+		sess:        sess,
+		runner:      sess.Runner(),
+		memoPlans:   memoPlans,
+		verify:      vt,
+		verifyTuned: make([][]string, len(machines)),
+		fixedPlan:   core.Options{K: sc.K}.Plan(),
+		profiles:    make([]ProfileRun, len(machines)),
+		runErr:      make([]string, len(machines)),
+		mismatch:    make([]string, len(machines)),
+		tuned:       make([]*TunedRun, len(machines)),
+		tuneErr:     make([]string, len(machines)),
 	}
 }
 
@@ -496,6 +541,9 @@ func (st *scenarioState) prepare() {
 		st.transformed = transformed
 		st.transformedSites = rep.TransformedCount()
 		st.interchanged = rep.AnyInterchanged()
+		if st.verify != nil {
+			st.verifyFixed = st.verify.variant(prog, st.fixedPlan, transformed, rep)
+		}
 	})
 }
 
@@ -587,6 +635,9 @@ func (st *scenarioState) tuneMachine(mi int, cfg Config) {
 		})
 	}
 	st.tuned[mi] = tr
+	if st.verify != nil {
+		st.verifyTuned[mi] = st.verify.choice(st.prog, c)
+	}
 }
 
 // assemble folds the slots into the scenario's Outcome, deterministically:
@@ -633,6 +684,12 @@ func (st *scenarioState) assemble(tunedMode bool) Outcome {
 			}
 		}
 	}
+	if st.verify != nil {
+		out.VerifyFailures = append(out.VerifyFailures, st.verifyFixed...)
+		for mi := range st.machines {
+			out.VerifyFailures = append(out.VerifyFailures, st.verifyTuned[mi]...)
+		}
+	}
 	return out
 }
 
@@ -650,6 +707,7 @@ func Merge(reports []*Report) (*Report, error) {
 	machineSet := ""
 	engine := ""
 	var compiled, hits, diskHits, wall int64
+	var vVerified, vSkipped, vFails, vWall int64
 	for i, r := range reports {
 		if r.Schema != Schema {
 			return nil, fmt.Errorf("harness: merge input %d has schema %q, want %q — regenerate the shard with this binary", i, r.Schema, Schema)
@@ -672,6 +730,10 @@ func Merge(reports []*Report) (*Report, error) {
 		hits += r.Summary.CacheHits
 		diskHits += r.Summary.DiskHits
 		wall += r.Summary.SweepWallNs
+		vVerified += r.Summary.VerifiedVariants
+		vSkipped += r.Summary.VerifySkipped
+		vFails += r.Summary.VerifyFailures
+		vWall += r.Summary.VerifyWallNs
 		outcomes = append(outcomes, r.Scenarios...)
 	}
 	sort.SliceStable(outcomes, func(i, j int) bool {
@@ -717,6 +779,10 @@ func Merge(reports []*Report) (*Report, error) {
 	rep.Summary.CacheHits = hits
 	rep.Summary.DiskHits = diskHits
 	rep.Summary.SweepWallNs = wall
+	rep.Summary.VerifiedVariants = vVerified
+	rep.Summary.VerifySkipped = vSkipped
+	rep.Summary.VerifyFailures = vFails
+	rep.Summary.VerifyWallNs = vWall
 	return rep, nil
 }
 

@@ -882,3 +882,76 @@ func TestCompareBaselineMissingProfile(t *testing.T) {
 		t.Errorf("newly added profile flagged: %v", v)
 	}
 }
+
+// TestVerifiedSweep: a verify-enabled tuned sweep statically verifies every
+// variant it measured (fixed, each tuner candidate, and each chosen plan)
+// with zero findings, and a second sweep over the same on-disk store skips
+// every re-verification via the durable ledger.
+func TestVerifiedSweep(t *testing.T) {
+	dir := t.TempDir()
+	corpus := smallCorpus(t, 4)
+	sweep := func() *Report {
+		t.Helper()
+		store, err := exec.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := session.New(session.Options{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(Config{Scenarios: corpus, Tune: true, Verify: true, Session: sess})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Summary.Errors != 0 || rep.Summary.Correct != len(corpus) {
+			t.Fatalf("sweep failed:\n%s", rep.Table())
+		}
+		return rep
+	}
+
+	cold := sweep()
+	if cold.Summary.VerifiedVariants == 0 {
+		t.Fatal("verify-enabled sweep verified nothing")
+	}
+	if cold.Summary.VerifyFailures != 0 {
+		t.Fatalf("static verifier flagged %d findings on a clean sweep", cold.Summary.VerifyFailures)
+	}
+	if cold.Summary.VerifyWallNs <= 0 {
+		t.Error("verify wall time not recorded")
+	}
+	for _, o := range cold.Scenarios {
+		if len(o.VerifyFailures) != 0 {
+			t.Errorf("%s: unexpected verify failures: %v", o.Name, o.VerifyFailures)
+		}
+	}
+
+	warm := sweep()
+	if warm.Summary.VerifiedVariants != 0 {
+		t.Errorf("warm sweep re-verified %d variants, want 0 (ledger must carry verdicts)",
+			warm.Summary.VerifiedVariants)
+	}
+	if warm.Summary.VerifySkipped < cold.Summary.VerifiedVariants {
+		t.Errorf("warm sweep skipped %d verifications, want ≥ %d (every cold verification)",
+			warm.Summary.VerifySkipped, cold.Summary.VerifiedVariants)
+	}
+}
+
+// TestVerifyOffLeavesReportUntouched: with Verify unset, none of the verify
+// counters appear in the serialized report — the committed benchmark JSON
+// must stay byte-identical.
+func TestVerifyOffLeavesReportUntouched(t *testing.T) {
+	rep, err := Run(Config{Scenarios: smallCorpus(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"verified_variants", "verify_skipped", "verify_failures", "verify_wall_ns"} {
+		if strings.Contains(string(b), field) {
+			t.Errorf("verify-off report serializes %q", field)
+		}
+	}
+}

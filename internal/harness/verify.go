@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/tune"
+	"repro/internal/verify"
+)
+
+// verifyTracker runs the static verification tier over every variant the
+// sweep touches, deduplicated by content hash. When the session's variant
+// store keeps a VerifyLedger (both built-in stores do), clean hashes are
+// recorded there — so a second sweep in the same process, or a warm process
+// sharing an on-disk store, re-verifies nothing. Safe for concurrent use by
+// the sweep workers.
+type verifyTracker struct {
+	ledger exec.VerifyLedger // nil when the store keeps none
+
+	mu       sync.Mutex
+	local    map[exec.Key]bool // dedupe fallback (and single-flight window)
+	verified int64
+	skipped  int64
+	failures int64
+	wallNs   int64
+}
+
+func newVerifyTracker(store exec.VariantStore) *verifyTracker {
+	vt := &verifyTracker{local: map[exec.Key]bool{}}
+	if l, ok := store.(exec.VerifyLedger); ok {
+		vt.ledger = l
+	}
+	return vt
+}
+
+// variantKey pairs the original source with the transformed output: the
+// verifier's verdict is a function of exactly that pair (the report is
+// deterministic given them), so the pair hash is the ledger unit.
+func variantKey(orig, out string) exec.Key {
+	return exec.KeyOf(orig + "\x00" + out)
+}
+
+// variant statically verifies one (program, plan) variant, at most once per
+// content pair. It returns rendered diagnostics — nil when the variant is
+// clean or its hash is already known clean.
+func (vt *verifyTracker) variant(prog *core.Program, pl *plan.Plan, out string, rep *core.Report) []string {
+	key := variantKey(prog.Source(), out)
+	vt.mu.Lock()
+	if vt.local[key] {
+		vt.skipped++
+		vt.mu.Unlock()
+		return nil
+	}
+	if vt.ledger != nil && vt.ledger.Verified(key) {
+		vt.local[key] = true
+		vt.skipped++
+		vt.mu.Unlock()
+		return nil
+	}
+	vt.mu.Unlock()
+
+	start := time.Now()
+	diags := verify.Variant(prog, pl, out, rep)
+	elapsed := time.Since(start).Nanoseconds()
+
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	vt.wallNs += elapsed
+	if vt.local[key] {
+		// A racing worker finished the same pair first; fold this attempt
+		// into the skip column so counters stay one-per-variant.
+		vt.skipped++
+		return nil
+	}
+	if len(diags) == 0 {
+		vt.verified++
+		vt.local[key] = true
+		if vt.ledger != nil {
+			vt.ledger.MarkVerified(key)
+		}
+		return nil
+	}
+	vt.failures += int64(len(diags))
+	vt.local[key] = true // a failing variant is reported once, not per sighting
+	out2 := make([]string, len(diags))
+	for i, d := range diags {
+		out2[i] = d.String()
+	}
+	return out2
+}
+
+// apply replays a plan through core.Apply (memoized, so regeneration is
+// free for plans the sweep already materialized) and verifies the output.
+func (vt *verifyTracker) apply(prog *core.Program, pl *plan.Plan) []string {
+	out, rep, err := core.Apply(prog, pl)
+	if err != nil {
+		// An unappliable plan never produced a variant; there is nothing to
+		// verify statically (the tuner already surfaced the error).
+		return nil
+	}
+	return vt.variant(prog, pl, out, rep)
+}
+
+// choice verifies every variant a tuning choice touched: each measured
+// candidate plan plus the chosen plan itself.
+func (vt *verifyTracker) choice(prog *core.Program, c tune.Choice) []string {
+	var fails []string
+	if c.Plan == nil {
+		return nil
+	}
+	for _, cd := range c.Candidates {
+		if len(cd.Decisions) != len(c.Sites) {
+			continue
+		}
+		cand := *c.Plan
+		cand.Sites = make([]plan.SitePlan, len(c.Sites))
+		for i := range c.Sites {
+			cand.Sites[i] = plan.SitePlan{Site: c.Sites[i].Site, Decision: cd.Decisions[i]}
+		}
+		fails = append(fails, vt.apply(prog, &cand)...)
+	}
+	fails = append(fails, vt.apply(prog, c.Plan)...)
+	return fails
+}
+
+// counts snapshots the tracker's counters.
+func (vt *verifyTracker) counts() (verified, skipped, failures, wallNs int64) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	return vt.verified, vt.skipped, vt.failures, vt.wallNs
+}

@@ -167,9 +167,7 @@ func (rw *rewriter) directOutermost() error {
 	// rank ends on its own partition's self copy, leaving no communication
 	// tail. The paper's literal per-tile wait keeps the original owner
 	// order (its wait structure assumes it).
-	if !rw.opts.PerTileWait && !rw.opts.NoStagger &&
-		len(op.Nest.ByArray[op.Call.Ar]) == 0 &&
-		tileReorderSafe(op.Nest.Refs, op.Unit.Body, op.L, op.Arrays, op.Consts) {
+	if !rw.opts.PerTileWait && !rw.opts.NoStagger && ReorderSafe(op) {
 		return rw.directOutermostStaggered(lo0, cOff, n)
 	}
 

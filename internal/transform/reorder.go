@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/dep"
 	"repro/internal/ftn"
 )
@@ -24,6 +25,22 @@ import (
 //
 // All checks are conservative: an Unknown answer disables the staggered
 // schedule and the original owner-ordered schedule is kept.
+
+// ReorderSafe is the exported form of the tile-order-independence proof for
+// one opportunity: the receive array must not be referenced inside the nest
+// (the staggered traversal rewrites its fill order) and every check above
+// must pass. The transformer gates the staggered schedule on exactly this
+// predicate, so a validator calling it re-derives the same legality verdict
+// from the same dependence facts.
+func ReorderSafe(op *analysis.Opportunity) bool {
+	if op == nil || op.Nest == nil || op.L == nil || op.Unit == nil {
+		return false
+	}
+	if len(op.Nest.ByArray[op.Call.Ar]) != 0 {
+		return false
+	}
+	return tileReorderSafe(op.Nest.Refs, op.Unit.Body, op.L, op.Arrays, op.Consts)
+}
 
 // tileReorderSafe runs all the checks for the opportunity's nest. unitBody
 // is the whole program-unit body (the post-loop liveness scan needs it);

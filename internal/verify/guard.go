@@ -1,0 +1,410 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dep"
+	"repro/internal/ftn"
+	"repro/internal/transform"
+)
+
+// doCtx is one entry of the enclosing-DO chain during a guard walk: the loop
+// plus the statement list (and index) that contains it, so leftover blocks
+// spliced after the loop can be located.
+type doCtx struct {
+	do    *ftn.DoStmt
+	list  []ftn.Stmt
+	index int
+}
+
+// checkTileGuards proves, for every generated tile-boundary guard in the
+// unit, that the tiled iteration space is covered exactly: a guard
+// `mod((v-lo)+1, K) == 0` either closes a loop whose constant trip count is
+// divisible by K, or is followed (after the loop) by a leftover block
+// `rem = mod(trip, K); if (rem > 0) then lo = hi-rem+1 ...` whose bounds
+// algebraically pick up exactly the iterations whole tiles missed. Guards of
+// the form `mod(v-lo, K) == 0` (tile-start waits) carry no coverage
+// obligation. Only guards whose body posts or drains nonblocking MPI are
+// considered, so the check never fires on source-program arithmetic.
+func checkTileGuards(u *ftn.Unit) []Diagnostic {
+	consts := paramConsts(u)
+	var diags []Diagnostic
+	var walk func(list []ftn.Stmt, chain []doCtx)
+	walk = func(list []ftn.Stmt, chain []doCtx) {
+		for i, s := range list {
+			switch s := s.(type) {
+			case *ftn.DoStmt:
+				next := make([]doCtx, len(chain), len(chain)+1)
+				copy(next, chain)
+				walk(s.Body, append(next, doCtx{do: s, list: list, index: i}))
+			case *ftn.IfStmt:
+				if modArg, k, ok := modGuard(s.Cond); ok && containsComm(s) {
+					diags = append(diags, checkOneGuard(u.Name, s, modArg, k, chain, consts)...)
+				}
+				walk(s.Then, chain)
+				walk(s.Else, chain)
+			}
+		}
+	}
+	walk(u.Body, nil)
+	return diags
+}
+
+// modGuard matches `mod(arg, k) == 0` with a positive literal k.
+func modGuard(cond ftn.Expr) (ftn.Expr, int64, bool) {
+	bin, ok := cond.(*ftn.Binary)
+	if !ok || bin.Op != "==" {
+		return nil, 0, false
+	}
+	ref, ok := bin.X.(*ftn.Ref)
+	if !ok || ref.Name != "mod" || len(ref.Args) != 2 {
+		return nil, 0, false
+	}
+	k, ok := ref.Args[1].(*ftn.IntLit)
+	if !ok || k.Value <= 0 {
+		return nil, 0, false
+	}
+	z, ok := bin.Y.(*ftn.IntLit)
+	if !ok || z.Value != 0 {
+		return nil, 0, false
+	}
+	return ref.Args[0], k.Value, true
+}
+
+// containsComm reports whether the statement's subtree posts, drains, or
+// waits on nonblocking MPI.
+func containsComm(s ftn.Stmt) bool {
+	found := false
+	ftn.Inspect([]ftn.Stmt{s}, func(n ftn.Stmt) bool {
+		if cs, ok := n.(*ftn.CallStmt); ok {
+			switch cs.Name {
+			case "mpi_isend", "mpi_irecv", "mpi_waitall", "mpi_wait":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkOneGuard normalizes one comm-bearing mod-guard against its innermost
+// governing loop and, for tile-end guards, proves coverage.
+func checkOneGuard(unit string, guard *ftn.IfStmt, modArg ftn.Expr, k int64, chain []doCtx, consts map[string]int64) []Diagnostic {
+	bad := func(format string, args ...interface{}) []Diagnostic {
+		return []Diagnostic{{
+			Code: CodeTileCoverage,
+			Pos:  guard.Pos().String(),
+			Msg:  fmt.Sprintf("unit %s: ", unit) + fmt.Sprintf(format, args...),
+		}}
+	}
+	// The governing loop is the innermost enclosing DO whose variable the
+	// guard argument mentions.
+	used := ftn.IdentsIn(modArg)
+	var dc doCtx
+	found := false
+	for i := len(chain) - 1; i >= 0; i-- {
+		if used[chain[i].do.Var] {
+			dc, found = chain[i], true
+			break
+		}
+	}
+	if !found {
+		return bad("tile guard mod(%s, %d) references no enclosing loop variable", ftn.ExprString(modArg), k)
+	}
+	v := dc.do.Var
+	env := &dep.Env{LoopVars: map[string]bool{v: true}, Consts: consts}
+	a, ok := dep.FromExpr(modArg, env)
+	if !ok {
+		return bad("tile guard argument %s is not affine", ftn.ExprString(modArg))
+	}
+	if len(a.Coef) != 1 || a.CoefOf(v) != 1 {
+		return bad("tile guard argument %s does not advance with loop %s by stride 1", ftn.ExprString(modArg), v)
+	}
+	loA, okLo := dep.FromExpr(dc.do.Lo, env)
+	hiA, okHi := dep.FromExpr(dc.do.Hi, env)
+	if !okLo || !okHi {
+		return bad("loop %s has non-affine bounds", v)
+	}
+	// Normalize: a ≡ (v - lo) + d. d = 1 is a tile-end guard (fires after
+	// every K-th iteration, owes coverage); d = 0 is a tile-start wait.
+	d := a.Sub(dep.Var(v)).Add(loA)
+	if !d.IsConst() {
+		return bad("tile guard offset %s is not constant relative to loop %s", d.String(), v)
+	}
+	switch d.ConstVal() {
+	case 0:
+		return nil
+	case 1:
+		// Tile-end: trip divisible by K, or an algebraically exact leftover.
+		trip := hiA.Sub(loA).Add(dep.NewAffine(1))
+		if trip.IsConst() && trip.ConstVal()%k == 0 && trip.ConstVal() >= 0 {
+			return nil
+		}
+		if msg := findLeftover(dc, trip, hiA, k, env); msg != "" {
+			return bad("loop %s (trip %s, tile %d): %s", v, trip.String(), k, msg)
+		}
+		return nil
+	default:
+		return bad("tile guard mod(%s, %d) is offset %d from loop %s tile boundaries", ftn.ExprString(modArg), k, d.ConstVal(), v)
+	}
+}
+
+// findLeftover scans the statement list holding the tiled loop, after the
+// loop, for the canonical leftover block and proves its bounds exact:
+//
+//	rem = mod(trip', K)   with trip' ≡ trip
+//	if (rem > 0) then
+//	  lo' = e              with e ≡ hi - rem + 1
+//
+// so the leftover range [hi-rem+1, hi] is precisely the suffix whole tiles
+// did not cover. Returns "" on success, or the failure reason.
+func findLeftover(dc doCtx, trip, hiA dep.Affine, k int64, env *dep.Env) string {
+	remName := ""
+	remIdx := -1
+	for j := dc.index + 1; j < len(dc.list); j++ {
+		as, ok := dc.list[j].(*ftn.AssignStmt)
+		if !ok {
+			continue
+		}
+		lhs, ok := as.LHS.(*ftn.Ident)
+		if !ok {
+			continue
+		}
+		ref, ok := as.RHS.(*ftn.Ref)
+		if !ok || ref.Name != "mod" || len(ref.Args) != 2 {
+			continue
+		}
+		kLit, ok := ref.Args[1].(*ftn.IntLit)
+		if !ok || kLit.Value != k {
+			continue
+		}
+		ta, ok := dep.FromExpr(ref.Args[0], env)
+		if !ok || !ta.Equal(trip) {
+			continue
+		}
+		remName, remIdx = lhs.Name, j
+		break
+	}
+	if remIdx < 0 {
+		return "trip count is not provably divisible and no leftover remainder assignment follows the loop"
+	}
+	rem := dep.Affine{Syms: map[string]int64{remName: 1}, Coef: map[string]int64{}}
+	want := hiA.Sub(rem).Add(dep.NewAffine(1))
+	for j := remIdx + 1; j < len(dc.list); j++ {
+		ifs, ok := dc.list[j].(*ftn.IfStmt)
+		if !ok {
+			continue
+		}
+		bin, ok := ifs.Cond.(*ftn.Binary)
+		if !ok || bin.Op != ">" {
+			continue
+		}
+		id, ok := bin.X.(*ftn.Ident)
+		if !ok || id.Name != remName {
+			continue
+		}
+		z, ok := bin.Y.(*ftn.IntLit)
+		if !ok || z.Value != 0 {
+			continue
+		}
+		for _, t := range ifs.Then {
+			as, ok := t.(*ftn.AssignStmt)
+			if !ok {
+				continue
+			}
+			if _, ok := as.LHS.(*ftn.Ident); !ok {
+				continue
+			}
+			got, ok := dep.FromExpr(as.RHS, env)
+			if !ok {
+				continue
+			}
+			if got.Equal(want) {
+				return ""
+			}
+			// The first scalar assignment in the canonical block is the
+			// leftover lower bound; anything else there is a corruption.
+			return fmt.Sprintf("leftover lower bound is %s, want hi-%s+1", got.String(), remName)
+		}
+	}
+	return fmt.Sprintf("leftover guard if (%s > 0) with an exact lower bound not found after the loop", remName)
+}
+
+// paramConsts harvests named integer constants (PARAMETER declarations)
+// from a unit, in declaration order so later parameters may reference
+// earlier ones.
+func paramConsts(u *ftn.Unit) map[string]int64 {
+	out := map[string]int64{}
+	for _, d := range u.Decls {
+		if !d.Parameter {
+			continue
+		}
+		for _, e := range d.Entities {
+			if e.Init == nil {
+				continue
+			}
+			if v, ok := analysis.EvalInt(e.Init, out); ok {
+				out[e.Name] = v
+			}
+		}
+	}
+	return out
+}
+
+// checkStaggeredStructure re-proves coverage for a staggered site, whose
+// loop was restructured (ring over owners × tiles per owner × K iterations)
+// rather than guarded: the generated skeleton must enumerate
+// np·(psz/K)·K iterations, exactly the original trip count.
+func checkStaggeredStructure(op *analysis.Opportunity, res *transform.Result, trans map[string]*ftn.Unit, site string) []Diagnostic {
+	bad := func(format string, args ...interface{}) []Diagnostic {
+		return []Diagnostic{{
+			Code: CodeTileCoverage,
+			Site: site,
+			Msg:  "staggered schedule: " + fmt.Sprintf(format, args...),
+		}}
+	}
+	tu := trans[op.Unit.Name]
+	if tu == nil || op.Nest == nil || len(op.Nest.Loops) == 0 {
+		return nil
+	}
+	k, psz, npv := res.K, res.PartitionSize, res.NP
+	if k <= 0 || psz <= 0 || npv <= 0 || psz%k != 0 || res.Leftover != 0 {
+		return bad("inconsistent shape: K=%d partition=%d np=%d leftover=%d", k, psz, npv, res.Leftover)
+	}
+	tpp := psz / k
+	tiled := op.Nest.Loops[0]
+	lo0 := tiled.Lo.Bind(op.Consts)
+	hi0 := tiled.Hi.Bind(op.Consts)
+	if !lo0.IsConst() || !hi0.IsConst() {
+		return bad("original loop bounds are not numeric")
+	}
+	trip := hi0.ConstVal() - lo0.ConstVal() + 1
+	if npv*psz != trip {
+		return bad("np·partition = %d does not cover the original trip count %d", npv*psz, trip)
+	}
+
+	consts := paramConsts(tu)
+	env := &dep.Env{LoopVars: map[string]bool{}, Consts: consts}
+	assigns := identAssigns(tu)
+
+	// 1. The K-iteration inner loop: do v = it, it+K-1 for the original var.
+	vIt := ""
+	for _, do := range findDos(tu, tiled.Var) {
+		lo, ok := do.Lo.(*ftn.Ident)
+		if !ok {
+			continue
+		}
+		loA, ok1 := dep.FromExpr(do.Lo, env)
+		hiA, ok2 := dep.FromExpr(do.Hi, env)
+		if ok1 && ok2 {
+			if span := hiA.Sub(loA); span.IsConst() && span.ConstVal() == k-1 {
+				vIt = lo.Name
+				break
+			}
+		}
+	}
+	if vIt == "" {
+		return bad("no inner loop over %s spanning exactly %d iterations", tiled.Var, k)
+	}
+
+	// 2. it = lo0 + K·tile for some tile counter.
+	vTile := ""
+	for _, as := range assigns[vIt] {
+		a, ok := dep.FromExpr(as.RHS, env)
+		if !ok || len(a.Coef) != 0 || len(a.Syms) != 1 || a.Const != lo0.ConstVal() {
+			continue
+		}
+		for name, coef := range a.Syms {
+			if coef == k {
+				vTile = name
+			}
+		}
+		if vTile != "" {
+			break
+		}
+	}
+	if vTile == "" {
+		return bad("no assignment %s = %d + %d·tile found", vIt, lo0.ConstVal(), k)
+	}
+
+	// 3. tile = tpp·owner + within, with the within loop spanning [0, tpp-1]
+	// and the owner produced by the ring permutation mod(me+shift, np).
+	for _, as := range assigns[vTile] {
+		a, ok := dep.FromExpr(as.RHS, env)
+		if !ok || len(a.Coef) != 0 || len(a.Syms) != 2 || a.Const != 0 {
+			continue
+		}
+		var names []string
+		for name := range a.Syms {
+			names = append(names, name)
+		}
+		for _, owner := range names {
+			within := names[0]
+			if within == owner {
+				within = names[1]
+			}
+			if a.Syms[owner] != tpp || a.Syms[within] != 1 {
+				continue
+			}
+			if !hasDoOver(tu, within, 0, tpp-1, env) {
+				continue
+			}
+			if !hasModAssign(assigns, owner) {
+				continue
+			}
+			return nil
+		}
+	}
+	return bad("no tile decomposition tile = %d·owner + within with a [0,%d] within-loop and a ring owner found", tpp, tpp-1)
+}
+
+// identAssigns indexes a unit's scalar assignments by target name.
+func identAssigns(u *ftn.Unit) map[string][]*ftn.AssignStmt {
+	out := map[string][]*ftn.AssignStmt{}
+	ftn.Inspect(u.Body, func(s ftn.Stmt) bool {
+		if as, ok := s.(*ftn.AssignStmt); ok {
+			if id, ok := as.LHS.(*ftn.Ident); ok {
+				out[id.Name] = append(out[id.Name], as)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findDos returns every DO over the named variable in the unit.
+func findDos(u *ftn.Unit, v string) []*ftn.DoStmt {
+	var out []*ftn.DoStmt
+	ftn.Inspect(u.Body, func(s ftn.Stmt) bool {
+		if do, ok := s.(*ftn.DoStmt); ok && do.Var == v {
+			out = append(out, do)
+		}
+		return true
+	})
+	return out
+}
+
+// hasDoOver reports whether the unit contains a DO over v with the given
+// constant bounds.
+func hasDoOver(u *ftn.Unit, v string, lo, hi int64, env *dep.Env) bool {
+	for _, do := range findDos(u, v) {
+		loA, ok1 := dep.FromExpr(do.Lo, env)
+		hiA, ok2 := dep.FromExpr(do.Hi, env)
+		if ok1 && ok2 && loA.IsConst() && hiA.IsConst() && loA.ConstVal() == lo && hiA.ConstVal() == hi {
+			return true
+		}
+	}
+	return false
+}
+
+// hasModAssign reports whether some assignment to the named variable is a
+// mod(...) permutation.
+func hasModAssign(assigns map[string][]*ftn.AssignStmt, v string) bool {
+	for _, as := range assigns[v] {
+		if ref, ok := as.RHS.(*ftn.Ref); ok && ref.Name == "mod" {
+			return true
+		}
+	}
+	return false
+}
