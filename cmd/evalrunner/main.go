@@ -82,6 +82,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -89,6 +90,7 @@ import (
 	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/plan"
 	"repro/internal/session"
@@ -110,6 +112,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory so sweeps sharing it start warm ('' = in-memory only)")
 	verifyFlag := flag.Bool("verify", false, "statically verify every (program, plan) variant the sweep touches; any finding fails the run")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
+	fleetAddr := flag.String("fleet", "", "dispatch the sweep to a fleet coordinator at this base URL instead of sweeping in-process ('' = in-process)")
+	fleetShards := flag.Int("fleet-shards", 0, "shard work items for a -fleet sweep (0 = one per live worker)")
 	engineName := flag.String("engine", "", "execution engine: compile (default; cached closure programs) or walk (tree-walking oracle)")
 	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
 	baselineTol := flag.Float64("baseline-tol", 0.01, "relative tolerance for -check-baseline (0.01 = 1%)")
@@ -120,6 +124,7 @@ func main() {
 		Merge: *merge, Shard: *shard, Tune: *tuneFlag, TuneKOnly: *konly,
 		TuneMax: *tuneMax, Engine: *engineName, Parallel: *parallel,
 		Limit: *limit, CacheDir: *cacheDir, Verify: *verifyFlag,
+		Fleet: *fleetAddr, FleetShards: *fleetShards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -150,6 +155,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *fleetAddr != "" {
+		runFleet(*fleetAddr, fleet.SweepSpec{
+			Seed: *seed, Limit: *limit, Machines: machineNames(*machineList),
+			Tune: *tuneFlag, TuneMax: *tuneMax, KOnly: *konly,
+			Verify: *verifyFlag, Shards: *fleetShards,
+		}, *out, *min, *quiet, baseline, *baselineTol, *summaryMD)
+		return
+	}
+
 	full := workload.GenerateScenarios(workload.GenOptions{Seed: *seed})
 	scenarios := full
 	if *limit > 0 && *limit < len(full) {
@@ -161,7 +175,7 @@ func main() {
 	}
 	sharded := false
 	if *shard != "" {
-		scenarios, err = selectShard(scenarios, *shard)
+		scenarios, err = workload.SelectShard(scenarios, *shard)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evalrunner:", err)
 			os.Exit(2)
@@ -236,16 +250,18 @@ func main() {
 // cliFlags is the subset of flags whose combinations or values can be
 // inconsistent.
 type cliFlags struct {
-	Merge     bool
-	Shard     string
-	Tune      bool
-	TuneKOnly bool
-	TuneMax   int
-	Engine    string
-	Parallel  int
-	Limit     int
-	CacheDir  string
-	Verify    bool
+	Merge       bool
+	Shard       string
+	Tune        bool
+	TuneKOnly   bool
+	TuneMax     int
+	Engine      string
+	Parallel    int
+	Limit       int
+	CacheDir    string
+	Verify      bool
+	Fleet       string
+	FleetShards int
 }
 
 // validateFlags rejects mutually-inconsistent flag combinations and
@@ -283,7 +299,86 @@ func validateFlags(f cliFlags) (exec.Engine, error) {
 	if f.TuneMax != 0 && !f.Tune {
 		return "", fmt.Errorf("-tunemax only applies to -tune sweeps; pass -tune as well")
 	}
+	if f.FleetShards != 0 && f.Fleet == "" {
+		return "", fmt.Errorf("-fleet-shards decomposes a -fleet sweep; pass -fleet as well")
+	}
+	if f.FleetShards < 0 {
+		return "", fmt.Errorf("-fleet-shards %d is not a shard count; pass a positive count, or 0 for one per live worker", f.FleetShards)
+	}
+	if f.Fleet != "" {
+		switch {
+		case f.Merge:
+			return "", fmt.Errorf("-fleet dispatches a sweep; -merge folds existing artifacts locally")
+		case f.Shard != "":
+			return "", fmt.Errorf("-fleet decomposes the sweep into shards itself; drop -shard")
+		case f.CacheDir != "":
+			return "", fmt.Errorf("-cache-dir configures a local sweep's store; a fleet's cache dir is configured on its workers")
+		case f.Engine != "":
+			return "", fmt.Errorf("-engine selects how a local sweep executes; a fleet's engine is configured on its workers")
+		case f.Parallel != 0:
+			return "", fmt.Errorf("-parallel bounds a local sweep's workers; a fleet worker uses its own parallelism")
+		}
+	}
 	return engine, nil
+}
+
+// machineNames splits the -machines list into names for the fleet wire spec
+// (already validated by resolveMachines).
+func machineNames(list string) []string {
+	if list == "" {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(list, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	return names
+}
+
+// runFleet dispatches the sweep to a coordinator and applies the same
+// reporting, artifact, and gate path as a local merged run: the fleet's
+// merged artifact covers the whole (possibly -limit-truncated) corpus, so
+// the aggregate gates run here rather than on any worker.
+func runFleet(coord string, spec fleet.SweepSpec, out string, min int, quiet bool, baseline *harness.Report, baselineTol float64, summaryMD string) {
+	full := workload.GenerateScenarios(workload.GenOptions{Seed: spec.Seed})
+	size := len(full)
+	if spec.Limit > 0 && spec.Limit < size {
+		size = spec.Limit
+	}
+	if size < min {
+		fmt.Fprintf(os.Stderr, "evalrunner: corpus has %d scenarios, need at least %d\n", size, min)
+		os.Exit(1)
+	}
+	client := &fleet.Client{Base: coord}
+	rep, err := client.RunSweep(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Print(rep.Table())
+	} else {
+		fmt.Printf("%d scenarios, %d identical, %d errors\n",
+			rep.Summary.Scenarios, rep.Summary.Correct, rep.Summary.Errors)
+	}
+	if spec.Verify {
+		fmt.Printf("statically verified %d variant(s) (%d skipped via ledger, %d finding(s), %.1fms)\n",
+			rep.Summary.VerifiedVariants, rep.Summary.VerifySkipped,
+			rep.Summary.VerifyFailures, float64(rep.Summary.VerifyWallNs)/1e6)
+	}
+	if out != "" {
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (fleet sweep via %s)\n", out, coord)
+	}
+	strict := size == len(full)
+	ok := gates(rep, true, strict, spec.Tune)
+	ok = postProcess(rep, baseline, baselineTol, summaryMD, "fleet tuned sweep") && ok
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 // loadBaseline reads the -check-baseline artifact ("" means the gate is
@@ -505,19 +600,4 @@ func resolveMachines(list string) ([]plan.Machine, error) {
 		machines = append(machines, m)
 	}
 	return machines, nil
-}
-
-// selectShard keeps the scenarios whose corpus index ≡ I (mod N).
-func selectShard(scenarios []workload.Scenario, spec string) ([]workload.Scenario, error) {
-	var i, n int
-	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
-		return nil, fmt.Errorf("bad -shard %q (want I/N with 0 ≤ I < N)", spec)
-	}
-	var out []workload.Scenario
-	for _, sc := range scenarios {
-		if sc.Index%n == i {
-			out = append(out, sc)
-		}
-	}
-	return out, nil
 }

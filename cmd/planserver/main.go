@@ -7,6 +7,23 @@
 // Usage:
 //
 //	planserver [-addr :8714] [-engine compile|walk] [-cache-dir DIR]
+//	           [-fleet URL] [-drain 30s]
+//
+// With -fleet, a cold query (one the plan memo cannot answer) is not tuned
+// inline: the server statically pre-vets the query's fixed-K baseline
+// variant with internal/verify (refusing dispatch on any finding — a
+// program the verifier flags must not burn fleet measurement time), then
+// dispatches the tuning job to the fleet coordinator and memoizes the
+// returned choice under the exact key a local search would have used. The
+// repeat of a fleet-dispatched query is therefore a local memo hit: no
+// dispatch, no search, no new compiles. Warm queries never leave the
+// process either way. Share -cache-dir with the fleet's workers so
+// pre-vetted verdicts (ledger markers) and compiled variants flow both
+// ways.
+//
+// The server drains gracefully: SIGTERM/SIGINT stop the listener and
+// in-flight /plan tuning jobs get -drain to finish, so the memo and stats
+// are consistent at exit.
 //
 // Endpoints:
 //
@@ -35,6 +52,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -42,10 +60,15 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fleet"
+	"repro/internal/plan"
 	"repro/internal/session"
 	"repro/internal/verify"
 )
@@ -54,6 +77,8 @@ func main() {
 	addr := flag.String("addr", ":8714", "listen address")
 	engineName := flag.String("engine", "", "execution engine for measured runs: compile (default) or walk")
 	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory ('' = in-memory only)")
+	fleetAddr := flag.String("fleet", "", "dispatch cold queries to a fleet coordinator at this base URL instead of tuning inline ('' = inline)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "planserver: unexpected arguments:", flag.Args())
@@ -82,14 +107,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "planserver:", err)
 		os.Exit(1)
 	}
+	var dispatcher *fleetDispatcher
+	if *fleetAddr != "" {
+		dispatcher = &fleetDispatcher{client: &fleet.Client{Base: *fleetAddr}, sess: sess}
+	}
 
+	srv := &http.Server{Addr: *addr, Handler: newMux(sess, dispatcher), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("planserver: engine %s, listening on %s", engine, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(sess)))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("planserver: %v", err)
+		}
+	case sig := <-sigCh:
+		// Draining instead of dying keeps the memo and stats consistent:
+		// an in-flight /plan finishes its search (and its memo store)
+		// before the process exits.
+		log.Printf("planserver: %v — draining for up to %s", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("planserver: drain deadline exceeded: %v", err)
+		}
+	}
 }
 
 // newMux wires the session into the HTTP surface. Split from main so the
 // smoke test can mount the identical handler on an ephemeral listener.
-func newMux(s *session.Session) *http.ServeMux {
+// A nil dispatcher tunes cold queries inline; a non-nil one pre-vets and
+// dispatches them to the fleet.
+func newMux(s *session.Session, dispatcher *fleetDispatcher) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -119,12 +171,18 @@ func newMux(s *session.Session) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("query needs a non-empty program source"))
 			return
 		}
-		res, err := s.Plan(q)
+		var res *session.Result
+		var err error
+		if dispatcher != nil {
+			res, err = s.PlanRemote(q, dispatcher.tune)
+		} else {
+			res, err = s.Plan(q)
+		}
 		if err != nil {
 			// The session rejects malformed queries before any analysis or
 			// search runs; those are the client's fault, the rest ours.
 			status := http.StatusInternalServerError
-			if isQueryError(err) {
+			if session.IsQueryError(err) {
 				status = http.StatusBadRequest
 			}
 			writeError(w, status, err)
@@ -207,14 +265,58 @@ func verifyChoice(s *session.Session, q session.Query, res *session.Result) veri
 	return verifyStatus{Checked: true, Findings: findings}
 }
 
-// isQueryError reports whether a Plan failure was caused by the query
-// itself (validation or a program that does not parse/analyze) rather than
-// by the search machinery.
-func isQueryError(err error) bool {
-	msg := err.Error()
-	return strings.HasPrefix(msg, "session: query") ||
-		strings.HasPrefix(msg, "session: analyze") ||
-		strings.Contains(msg, "unknown machine")
+// fleetDispatcher answers cold queries by dispatching the tuning job to a
+// fleet coordinator. session.PlanRemote guarantees it only ever sees memo
+// misses on validated queries, and memoizes whatever it returns.
+type fleetDispatcher struct {
+	client *fleet.Client
+	sess   *session.Session
+}
+
+// tune pre-vets, then dispatches. The pre-vet statically proves the
+// query's fixed-K baseline variant (the seed every measured search starts
+// from) with internal/verify before any worker burns measured runs: a
+// program the verifier flags gets refused here, at the cost of one local
+// transform, instead of occupying a worker. Clean verdicts land in the
+// session store's ledger — shared with the fleet's workers via -cache-dir —
+// so the workers skip re-proving the same variant.
+func (d *fleetDispatcher) tune(q session.Query) (*session.Result, error) {
+	if err := d.preVet(q); err != nil {
+		return nil, err
+	}
+	return d.client.RunTune(context.Background(), q)
+}
+
+func (d *fleetDispatcher) preVet(q session.Query) error {
+	m, err := plan.ByName(q.Machine)
+	if err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	fixedK := q.FixedK
+	if fixedK <= 0 {
+		fixedK = m.DefaultK()
+	}
+	prog, err := d.sess.Analyze(q.Source, int64(q.NP))
+	if err != nil {
+		return fmt.Errorf("session: analyze: %w", err)
+	}
+	pl := core.Options{K: fixedK}.Plan()
+	out, rep, err := core.Apply(prog, pl)
+	if err != nil {
+		return fmt.Errorf("pre-vet: apply fixed-K baseline: %w", err)
+	}
+	key := exec.KeyOf(prog.Source() + "\x00" + out)
+	ledger, _ := d.sess.Store().(exec.VerifyLedger)
+	if ledger != nil && ledger.Verified(key) {
+		return nil
+	}
+	if diags := verify.Variant(prog, pl, out, rep); len(diags) > 0 {
+		return fmt.Errorf("pre-vet: static verifier refused dispatch: %s", verify.Summarize(diags))
+	}
+	if ledger != nil {
+		ledger.MarkVerified(key)
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

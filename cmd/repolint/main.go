@@ -16,6 +16,12 @@
 //     entries map must route the Choice through cloneChoice, so the memo
 //     stores deep copies and hands out deep copies — callers annotate their
 //     Choice without corrupting the cache.
+//  4. No timeout-less net/http servers in cmd/. An http.Server composite
+//     literal must set ReadHeaderTimeout, and the http.ListenAndServe /
+//     http.Serve conveniences (which construct a timeout-less server
+//     internally) are banned outright — a slow-loris client dribbling
+//     header bytes would otherwise pin a planserver/fleetd connection
+//     forever.
 //
 // Usage:
 //
@@ -66,6 +72,10 @@ const deterministicRoot = "internal"
 // wall clock (reported as explicitly volatile counters).
 var wallClockExempt = map[string]bool{
 	"internal/harness": true,
+	// Dispatch plumbing, not measurement: heartbeat TTLs, per-item request
+	// deadlines, and retry backoff are wall-clock by nature; every measured
+	// number inside a shard still comes from the simulated clock.
+	"internal/fleet": true,
 }
 
 func main() {
@@ -147,6 +157,7 @@ func lintFile(fset *token.FileSet, rel string, f *ast.File) []string {
 	if !isTest {
 		lintGlobals(pkgDir, f, report)
 		lintWallClock(pkgDir, f, report)
+		lintHTTPTimeouts(pkgDir, f, report)
 	}
 	lintMemoClone(pkgDir, f, report)
 	return findings
@@ -223,14 +234,63 @@ func lintWallClock(pkgDir string, f *ast.File, report reportFn) {
 }
 
 // importsPackage reports whether the file imports the named stdlib package
-// under its default name.
+// under its default name (the last path element — "http" for "net/http").
 func importsPackage(f *ast.File, path string) bool {
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
 	for _, imp := range f.Imports {
-		if strings.Trim(imp.Path.Value, `"`) == path && (imp.Name == nil || imp.Name.Name == path) {
+		if strings.Trim(imp.Path.Value, `"`) == path && (imp.Name == nil || imp.Name.Name == base) {
 			return true
 		}
 	}
 	return false
+}
+
+// lintHTTPTimeouts flags net/http servers in cmd/ that can be held open by
+// a client that never finishes its request headers: an http.Server literal
+// without ReadHeaderTimeout, or the package-level ListenAndServe/Serve
+// conveniences (whose implicit server has no timeouts at all).
+func lintHTTPTimeouts(pkgDir string, f *ast.File, report reportFn) {
+	if pkgDir != "cmd" && !strings.HasPrefix(pkgDir, "cmd/") {
+		return
+	}
+	if !importsPackage(f, "net/http") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			sel, ok := n.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "http" || sel.Sel.Name != "Server" {
+				return true
+			}
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "ReadHeaderTimeout" {
+						return true
+					}
+				}
+			}
+			report(n.Pos(), "http-timeout",
+				"http.Server constructed without ReadHeaderTimeout; a slow-loris client can pin the connection forever")
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "http" &&
+				(sel.Sel.Name == "ListenAndServe" || sel.Sel.Name == "ListenAndServeTLS" || sel.Sel.Name == "Serve") {
+				report(sel.Pos(), "http-timeout",
+					"http.%s builds a server with no timeouts; construct an http.Server with ReadHeaderTimeout and call its methods", sel.Sel.Name)
+			}
+		}
+		return true
+	})
 }
 
 // lintMemoClone enforces the deep-copy contract of the plan memo: any

@@ -111,6 +111,64 @@ func (m *Memo) Lookup(k string) (Choice, bool) { ch, ok := m.entries[k]; return 
 	}
 }
 
+func TestHTTPTimeoutRule(t *testing.T) {
+	bare := `package main
+import "net/http"
+func main() { srv := &http.Server{Addr: ":80"}; _ = srv }
+`
+	wantRule(t, lintSrc(t, "cmd/foo/main.go", bare), "http-timeout")
+
+	convenience := `package main
+import "net/http"
+func main() { _ = http.ListenAndServe(":80", nil) }
+`
+	wantRule(t, lintSrc(t, "cmd/foo/main.go", convenience), "http-timeout")
+
+	serveConvenience := `package main
+import (
+	"net"
+	"net/http"
+)
+func main() { var ln net.Listener; _ = http.Serve(ln, nil) }
+`
+	wantRule(t, lintSrc(t, "cmd/foo/main.go", serveConvenience), "http-timeout")
+
+	withTimeout := `package main
+import (
+	"net/http"
+	"time"
+)
+func main() { srv := &http.Server{Addr: ":80", ReadHeaderTimeout: 10 * time.Second}; _ = srv }
+`
+	if findings := lintSrc(t, "cmd/foo/main.go", withTimeout); len(findings) != 0 {
+		t.Errorf("ReadHeaderTimeout server flagged: %v", findings)
+	}
+
+	// Out of scope: internal packages (servers there are the caller's
+	// responsibility to configure) and test files (ephemeral listeners).
+	for _, rel := range []string{"internal/fleet/a.go", "cmd/foo/main_test.go"} {
+		if findings := lintSrc(t, rel, bare); len(findings) != 0 {
+			t.Errorf("%s: unexpected findings %v", rel, findings)
+		}
+	}
+
+	// srv.ListenAndServe() on a configured server is the blessed pattern —
+	// only the package-level conveniences are flagged.
+	method := `package main
+import (
+	"net/http"
+	"time"
+)
+func main() {
+	srv := &http.Server{Addr: ":80", ReadHeaderTimeout: 10 * time.Second}
+	_ = srv.ListenAndServe()
+}
+`
+	if findings := lintSrc(t, "cmd/foo/main.go", method); len(findings) != 0 {
+		t.Errorf("configured server's own ListenAndServe flagged: %v", findings)
+	}
+}
+
 // TestRepoIsClean is the enforcement test: the repository itself must lint
 // clean (the CI lint job runs the binary; this keeps `go test ./...`
 // equivalent).

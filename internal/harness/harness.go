@@ -309,7 +309,14 @@ type Report struct {
 	// Machines names the machine-model set the sweep ran under, in sweep
 	// order. Merge requires it to agree across shards — an outcome-level
 	// scan alone can miss a mismatch when a shard's scenarios all errored.
-	Machines  []string  `json:"machines,omitempty"`
+	Machines []string `json:"machines,omitempty"`
+	// Verify records that the sweep ran the static verification tier.
+	// Merge requires it to agree across shards: summing verify counters
+	// over a mix of verify-on and verify-off shards would undercount the
+	// corpus (a clean-looking merged artifact whose unverified half was
+	// simply never checked). Omitted on verify-off reports so pre-verify
+	// artifacts stay byte-identical.
+	Verify    bool      `json:"verify,omitempty"`
 	Scenarios []Outcome `json:"scenarios"`
 	Summary   Summary   `json:"summary"`
 }
@@ -401,7 +408,7 @@ func Run(cfg Config) (*Report, error) {
 		outcomes[i] = st.assemble(cfg.Tune)
 	}
 
-	rep := &Report{Schema: Schema, Engine: string(engine), Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Engine: string(engine), Verify: cfg.Verify, Scenarios: outcomes}
 	for _, m := range machines {
 		rep.Machines = append(rep.Machines, m.Name)
 	}
@@ -706,6 +713,7 @@ func Merge(reports []*Report) (*Report, error) {
 	var outcomes []Outcome
 	machineSet := ""
 	engine := ""
+	verifyMode := false
 	var compiled, hits, diskHits, wall int64
 	var vVerified, vSkipped, vFails, vWall int64
 	for i, r := range reports {
@@ -718,12 +726,16 @@ func Merge(reports []*Report) (*Report, error) {
 		if i == 0 {
 			machineSet = ms
 			engine = r.Engine
+			verifyMode = r.Verify
 		} else {
 			if ms != machineSet {
 				return nil, fmt.Errorf("harness: merge input %d was swept under machine set [%s], want [%s] — shards must use identical -machines", i, ms, machineSet)
 			}
 			if r.Engine != engine {
 				return nil, fmt.Errorf("harness: merge input %d was swept under engine %q, want %q — shards must use one -engine", i, r.Engine, engine)
+			}
+			if r.Verify != verifyMode {
+				return nil, fmt.Errorf("harness: merge input %d mixes -verify and verify-off shards — summed verify counters would silently undercount the corpus; re-sweep every shard with one -verify setting", i)
 			}
 		}
 		compiled += r.Summary.VariantsCompiled
@@ -773,7 +785,7 @@ func Merge(reports []*Report) (*Report, error) {
 			return nil, fmt.Errorf("harness: merge mixes tuned and untuned shards (%s)", o.Name)
 		}
 	}
-	rep := &Report{Schema: Schema, Engine: engine, Machines: reports[0].Machines, Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Engine: engine, Machines: reports[0].Machines, Verify: verifyMode, Scenarios: outcomes}
 	rep.Summary = summarize(outcomes)
 	rep.Summary.VariantsCompiled = compiled
 	rep.Summary.CacheHits = hits

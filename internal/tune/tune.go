@@ -51,6 +51,22 @@ const PerSiteExtraMeasured = 10
 // descent stops earlier at the first pass that adopts nothing.
 const maxDescentPasses = 4
 
+// ResolveMaxMeasured resolves a requested measured-candidate budget for a
+// search over the given number of transformable sites: a non-positive
+// request selects DefaultMaxMeasured plus PerSiteExtraMeasured per site
+// beyond the first. Exported so a caller that needs the exact MemoKey of a
+// query it did not run itself (the plan server memoizing a fleet-dispatched
+// search) resolves the budget identically to Tune.
+func ResolveMaxMeasured(requested, sites int) int {
+	if requested > 0 {
+		return requested
+	}
+	if sites < 1 {
+		sites = 1
+	}
+	return DefaultMaxMeasured + PerSiteExtraMeasured*(sites-1)
+}
+
 // Input is the kernel to tune.
 type Input struct {
 	Source string // untransformed Fortran source
@@ -187,10 +203,7 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("tune: transform does not fire on this kernel: %s", firstReason(prog))
 	}
-	maxM := opts.MaxMeasured
-	if maxM <= 0 {
-		maxM = DefaultMaxMeasured + PerSiteExtraMeasured*(len(sites)-1)
-	}
+	maxM := ResolveMaxMeasured(opts.MaxMeasured, len(sites))
 	// Uniform ladder: the union of every site's rungs. A rung one site
 	// rejects at evaluation time is skipped without costing a measurement.
 	var uniformLadder []int64

@@ -1,0 +1,26 @@
+package workload
+
+import "fmt"
+
+// SelectShard keeps the scenarios whose corpus Index ≡ I (mod N) for a spec
+// of the form "I/N". The selection keys on the stable corpus index — not the
+// slice position — so a truncated corpus shards exactly like the full one's
+// prefix, and shard artifacts merge back into corpus order deterministically.
+// These are the `-shard I/N` semantics shared by evalrunner and the fleet
+// dispatcher: decomposing a sweep into N shards and sweeping each exactly
+// once covers every scenario exactly once, for any N ≥ 1 (shards of a corpus
+// whose size is not divisible by N are simply unequal in size, and a shard
+// with I ≥ the corpus size comes back empty).
+func SelectShard(scenarios []Scenario, spec string) ([]Scenario, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
+		return nil, fmt.Errorf("bad shard %q (want I/N with 0 ≤ I < N)", spec)
+	}
+	var out []Scenario
+	for _, sc := range scenarios {
+		if sc.Index%n == i {
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}
