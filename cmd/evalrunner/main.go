@@ -15,9 +15,9 @@
 // Usage:
 //
 //	evalrunner [-out BENCH_harness.json] [-seed N] [-limit N] [-shard I/N]
-//	           [-machines a,b] [-engine compile|walk] [-parallel N]
+//	           [-machines a,b] [-engine bytecode|compile|walk] [-parallel N]
 //	           [-min 20] [-q] [-tune] [-tunemax N] [-tune-konly]
-//	           [-cache-dir DIR] [-verify]
+//	           [-tune-check-engine walk] [-cache-dir DIR] [-verify]
 //	           [-check-baseline BENCH_harness.json] [-baseline-tol 0.01]
 //	           [-summary-md path]
 //	evalrunner -merge -out merged.json shard0.json shard1.json ...
@@ -30,13 +30,23 @@
 // variants, so a warm sweep re-verifies nothing. Any static finding fails
 // the run (exit 1); the findings are listed per scenario on stderr.
 //
-// -engine selects the execution engine: "compile" (default) lowers every
-// (program, plan) variant once into a closure program, shared through the
-// sweep's variant store — the engine the sweep scheduler is built for;
-// "walk" re-parses and tree-walks the AST per run, retained as the
-// bit-identical differential oracle. The report records the engine and the
-// cache economics (variants_compiled, cache_hits, disk_hits,
-// sweep_wall_ns).
+// -engine selects the execution engine: "bytecode" (default) lowers every
+// (program, plan) variant once into a register-based flat instruction
+// stream — constant folding, batched cost charges, bounds-check
+// elimination — shared through the sweep's variant store; "compile" runs
+// the closure mid-tier the bytecode lowering falls back on; "walk"
+// re-parses and tree-walks the AST per run, retained as the bit-identical
+// differential oracle. The report records the engine and the cache
+// economics (variants_compiled, cache_hits, disk_hits, sweep_wall_ns).
+//
+// -tune-check-engine makes -tune tiered: every candidate is measured on
+// the (fast) sweep engine, and only the original program and each adopted
+// plan are re-run on the named engine — "walk" in CI — which must
+// reproduce the exact makespans the search ranked on and the exact
+// observables the never-lose gate compared. The per-candidate cost drops
+// to the fast tier while the adopted plans stay oracle-backed; the report
+// records tune_check_engine and the per-row/summary tiered_checks
+// counters.
 //
 // -cache-dir backs the sweep's variant store with a content-addressed
 // on-disk layer: every successfully compiled variant source is persisted
@@ -109,12 +119,13 @@ func main() {
 	tuneFlag := flag.Bool("tune", false, "auto-tune the overlap plan (K + wait/send-order/interchange knobs) per scenario and machine")
 	tuneMax := flag.Int("tunemax", 0, "measured tuning candidates per scenario/machine (0 = default)")
 	konly := flag.Bool("tune-konly", false, "restrict -tune to the tile size (ablation: the historical K-only search)")
+	tuneCheck := flag.String("tune-check-engine", "", "re-check only the original and each adopted -tune plan on this engine (e.g. walk); candidates stay on the sweep engine ('' = off)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled variants content-addressed under this directory so sweeps sharing it start warm ('' = in-memory only)")
 	verifyFlag := flag.Bool("verify", false, "statically verify every (program, plan) variant the sweep touches; any finding fails the run")
 	merge := flag.Bool("merge", false, "merge shard artifacts named as arguments instead of sweeping")
 	fleetAddr := flag.String("fleet", "", "dispatch the sweep to a fleet coordinator at this base URL instead of sweeping in-process ('' = in-process)")
 	fleetShards := flag.Int("fleet-shards", 0, "shard work items for a -fleet sweep (0 = one per live worker)")
-	engineName := flag.String("engine", "", "execution engine: compile (default; cached closure programs) or walk (tree-walking oracle)")
+	engineName := flag.String("engine", "", "execution engine: bytecode (default; cached register programs), compile (closure mid-tier), or walk (tree-walking oracle)")
 	baselinePath := flag.String("check-baseline", "", "fail if per-profile geomeans regress vs this committed artifact ('' disables)")
 	baselineTol := flag.Float64("baseline-tol", 0.01, "relative tolerance for -check-baseline (0.01 = 1%)")
 	summaryMD := flag.String("summary-md", "", "append the per-profile geomean table as markdown to this file (e.g. $GITHUB_STEP_SUMMARY)")
@@ -122,9 +133,9 @@ func main() {
 
 	engine, err := validateFlags(cliFlags{
 		Merge: *merge, Shard: *shard, Tune: *tuneFlag, TuneKOnly: *konly,
-		TuneMax: *tuneMax, Engine: *engineName, Parallel: *parallel,
-		Limit: *limit, CacheDir: *cacheDir, Verify: *verifyFlag,
-		Fleet: *fleetAddr, FleetShards: *fleetShards,
+		TuneMax: *tuneMax, TuneCheckEngine: *tuneCheck, Engine: *engineName,
+		Parallel: *parallel, Limit: *limit, CacheDir: *cacheDir,
+		Verify: *verifyFlag, Fleet: *fleetAddr, FleetShards: *fleetShards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -204,7 +215,8 @@ func main() {
 	rep, err := harness.Run(harness.Config{
 		Scenarios: scenarios, Machines: machines, Parallelism: *parallel,
 		Tune: *tuneFlag, TuneMaxMeasured: *tuneMax, TuneKOnly: *konly,
-		Engine: engine, Session: sess, Verify: *verifyFlag,
+		TuneCheckEngine: exec.Engine(*tuneCheck),
+		Engine:          engine, Session: sess, Verify: *verifyFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
@@ -250,25 +262,26 @@ func main() {
 // cliFlags is the subset of flags whose combinations or values can be
 // inconsistent.
 type cliFlags struct {
-	Merge       bool
-	Shard       string
-	Tune        bool
-	TuneKOnly   bool
-	TuneMax     int
-	Engine      string
-	Parallel    int
-	Limit       int
-	CacheDir    string
-	Verify      bool
-	Fleet       string
-	FleetShards int
+	Merge           bool
+	Shard           string
+	Tune            bool
+	TuneKOnly       bool
+	TuneMax         int
+	TuneCheckEngine string
+	Engine          string
+	Parallel        int
+	Limit           int
+	CacheDir        string
+	Verify          bool
+	Fleet           string
+	FleetShards     int
 }
 
 // validateFlags rejects mutually-inconsistent flag combinations and
 // out-of-range values before any work (or artifact writing) happens, and
 // resolves the engine name. A failure here is a usage error: main exits 2.
 func validateFlags(f cliFlags) (exec.Engine, error) {
-	engine, err := exec.Resolve(f.Engine)
+	engine, err := exec.ParseEngine(f.Engine)
 	if err != nil {
 		return "", err
 	}
@@ -299,6 +312,18 @@ func validateFlags(f cliFlags) (exec.Engine, error) {
 	if f.TuneMax != 0 && !f.Tune {
 		return "", fmt.Errorf("-tunemax only applies to -tune sweeps; pass -tune as well")
 	}
+	if f.TuneCheckEngine != "" {
+		if !f.Tune {
+			return "", fmt.Errorf("-tune-check-engine re-checks -tune's adopted plans; pass -tune as well")
+		}
+		checkEngine, err := exec.ParseEngine(f.TuneCheckEngine)
+		if err != nil {
+			return "", err
+		}
+		if checkEngine == engine {
+			return "", fmt.Errorf("-tune-check-engine %q is the sweep engine itself; name a different tier (e.g. walk) to cross-check against", checkEngine)
+		}
+	}
 	if f.FleetShards != 0 && f.Fleet == "" {
 		return "", fmt.Errorf("-fleet-shards decomposes a -fleet sweep; pass -fleet as well")
 	}
@@ -315,6 +340,8 @@ func validateFlags(f cliFlags) (exec.Engine, error) {
 			return "", fmt.Errorf("-cache-dir configures a local sweep's store; a fleet's cache dir is configured on its workers")
 		case f.Engine != "":
 			return "", fmt.Errorf("-engine selects how a local sweep executes; a fleet's engine is configured on its workers")
+		case f.TuneCheckEngine != "":
+			return "", fmt.Errorf("-tune-check-engine configures a local sweep's tiered tuning; a fleet's check engine is configured on its workers")
 		case f.Parallel != 0:
 			return "", fmt.Errorf("-parallel bounds a local sweep's workers; a fleet worker uses its own parallelism")
 		}

@@ -17,36 +17,44 @@ func TestValidateFlags(t *testing.T) {
 		engine  exec.Engine
 		wantErr string
 	}{
-		{name: "defaults", f: cliFlags{}, engine: exec.EngineCompile},
+		{name: "defaults", f: cliFlags{}, engine: exec.EngineBytecode},
 		{name: "walk engine", f: cliFlags{Engine: "walk"}, engine: exec.EngineWalk},
 		{name: "compile engine", f: cliFlags{Engine: "compile"}, engine: exec.EngineCompile},
+		{name: "bytecode engine", f: cliFlags{Engine: "bytecode"}, engine: exec.EngineBytecode},
 		{name: "unknown engine", f: cliFlags{Engine: "jit"}, wantErr: "unknown engine"},
-		{name: "merge alone", f: cliFlags{Merge: true}, engine: exec.EngineCompile},
-		{name: "shard alone", f: cliFlags{Shard: "0/2"}, engine: exec.EngineCompile},
+		{name: "merge alone", f: cliFlags{Merge: true}, engine: exec.EngineBytecode},
+		{name: "shard alone", f: cliFlags{Shard: "0/2"}, engine: exec.EngineBytecode},
 		{name: "merge with shard", f: cliFlags{Merge: true, Shard: "0/2"}, wantErr: "-merge"},
 		{name: "merge with engine", f: cliFlags{Merge: true, Engine: "walk"}, wantErr: "-engine"},
-		{name: "tune konly with tune", f: cliFlags{Tune: true, TuneKOnly: true}, engine: exec.EngineCompile},
+		{name: "tune konly with tune", f: cliFlags{Tune: true, TuneKOnly: true}, engine: exec.EngineBytecode},
 		{name: "tune konly without tune", f: cliFlags{TuneKOnly: true}, wantErr: "-tune-konly"},
 		{name: "tunemax without tune", f: cliFlags{TuneMax: 9}, wantErr: "-tunemax"},
-		{name: "tunemax with tune", f: cliFlags{Tune: true, TuneMax: 9}, engine: exec.EngineCompile},
-		{name: "positive parallel and limit", f: cliFlags{Parallel: 8, Limit: 10}, engine: exec.EngineCompile},
+		{name: "tunemax with tune", f: cliFlags{Tune: true, TuneMax: 9}, engine: exec.EngineBytecode},
+		{name: "tiered tuning", f: cliFlags{Tune: true, TuneCheckEngine: "walk"}, engine: exec.EngineBytecode},
+		{name: "tune check without tune", f: cliFlags{TuneCheckEngine: "walk"}, wantErr: "-tune-check-engine"},
+		{name: "tune check unknown engine", f: cliFlags{Tune: true, TuneCheckEngine: "jit"}, wantErr: "unknown engine"},
+		{name: "tune check names sweep engine", f: cliFlags{Tune: true, TuneCheckEngine: "bytecode"}, wantErr: "sweep engine itself"},
+		{name: "tune check on explicit walk sweep", f: cliFlags{Tune: true, Engine: "walk", TuneCheckEngine: "walk"}, wantErr: "sweep engine itself"},
+		{name: "tune check compile sweep vs walk", f: cliFlags{Tune: true, Engine: "compile", TuneCheckEngine: "walk"}, engine: exec.EngineCompile},
+		{name: "positive parallel and limit", f: cliFlags{Parallel: 8, Limit: 10}, engine: exec.EngineBytecode},
 		{name: "negative parallel", f: cliFlags{Parallel: -1}, wantErr: "-parallel"},
 		{name: "negative limit", f: cliFlags{Limit: -5}, wantErr: "-limit"},
-		{name: "cache dir sweep", f: cliFlags{CacheDir: "varcache"}, engine: exec.EngineCompile},
+		{name: "cache dir sweep", f: cliFlags{CacheDir: "varcache"}, engine: exec.EngineBytecode},
 		{name: "cache dir with merge", f: cliFlags{Merge: true, CacheDir: "varcache"}, wantErr: "-cache-dir"},
 		{name: "cache dir with walk engine", f: cliFlags{CacheDir: "varcache", Engine: "walk"}, wantErr: "-cache-dir"},
-		{name: "verify sweep", f: cliFlags{Verify: true}, engine: exec.EngineCompile},
-		{name: "verify tuned sweep with cache dir", f: cliFlags{Verify: true, Tune: true, CacheDir: "varcache"}, engine: exec.EngineCompile},
+		{name: "verify sweep", f: cliFlags{Verify: true}, engine: exec.EngineBytecode},
+		{name: "verify tuned sweep with cache dir", f: cliFlags{Verify: true, Tune: true, CacheDir: "varcache"}, engine: exec.EngineBytecode},
 		{name: "verify with walk engine", f: cliFlags{Verify: true, Engine: "walk"}, engine: exec.EngineWalk},
 		{name: "verify with merge", f: cliFlags{Merge: true, Verify: true}, wantErr: "-verify"},
-		{name: "fleet sweep", f: cliFlags{Fleet: "http://127.0.0.1:8790"}, engine: exec.EngineCompile},
-		{name: "fleet tuned verified sweep", f: cliFlags{Fleet: "http://c:1", Tune: true, Verify: true, FleetShards: 3}, engine: exec.EngineCompile},
+		{name: "fleet sweep", f: cliFlags{Fleet: "http://127.0.0.1:8790"}, engine: exec.EngineBytecode},
+		{name: "fleet tuned verified sweep", f: cliFlags{Fleet: "http://c:1", Tune: true, Verify: true, FleetShards: 3}, engine: exec.EngineBytecode},
 		{name: "fleet shards without fleet", f: cliFlags{FleetShards: 3}, wantErr: "-fleet-shards"},
 		{name: "negative fleet shards", f: cliFlags{Fleet: "http://c:1", FleetShards: -1}, wantErr: "-fleet-shards"},
 		{name: "fleet with merge", f: cliFlags{Fleet: "http://c:1", Merge: true}, wantErr: "-merge"},
 		{name: "fleet with shard", f: cliFlags{Fleet: "http://c:1", Shard: "0/2"}, wantErr: "-shard"},
 		{name: "fleet with cache dir", f: cliFlags{Fleet: "http://c:1", CacheDir: "varcache"}, wantErr: "-cache-dir"},
 		{name: "fleet with engine", f: cliFlags{Fleet: "http://c:1", Engine: "walk"}, wantErr: "-engine"},
+		{name: "fleet with tune check", f: cliFlags{Fleet: "http://c:1", Tune: true, TuneCheckEngine: "walk"}, wantErr: "-tune-check-engine"},
 		{name: "fleet with parallel", f: cliFlags{Fleet: "http://c:1", Parallel: 4}, wantErr: "-parallel"},
 	}
 	for _, c := range cases {

@@ -22,6 +22,11 @@
 //     internally) are banned outright — a slow-loris client dribbling
 //     header bytes would otherwise pin a planserver/fleetd connection
 //     forever.
+//  5. Hot-path discipline in internal/exec: no reflect import, and no
+//     func-valued map types (map-based dispatch tables). The execution
+//     engines are the inner loop of every sweep; dispatch there is a flat
+//     switch over opcodes or an array index, never a hash lookup or a
+//     reflective call.
 //
 // Usage:
 //
@@ -158,6 +163,7 @@ func lintFile(fset *token.FileSet, rel string, f *ast.File) []string {
 		lintGlobals(pkgDir, f, report)
 		lintWallClock(pkgDir, f, report)
 		lintHTTPTimeouts(pkgDir, f, report)
+		lintExecHotPath(pkgDir, f, report)
 	}
 	lintMemoClone(pkgDir, f, report)
 	return findings
@@ -288,6 +294,35 @@ func lintHTTPTimeouts(pkgDir string, f *ast.File, report reportFn) {
 				report(sel.Pos(), "http-timeout",
 					"http.%s builds a server with no timeouts; construct an http.Server with ReadHeaderTimeout and call its methods", sel.Sel.Name)
 			}
+		}
+		return true
+	})
+}
+
+// lintExecHotPath keeps the execution engines' inner loop flat: no
+// reflect (a reflective call in the dispatch path costs more than the
+// instruction it dispatches), and no func-valued map type — a map from
+// anything to a func is a dispatch table, and dispatch in internal/exec
+// must be a flat switch over opcodes or an array index, never a hash
+// lookup per instruction.
+func lintExecHotPath(pkgDir string, f *ast.File, report reportFn) {
+	if pkgDir != "internal/exec" {
+		return
+	}
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "reflect" {
+			report(imp.Pos(), "exec-hot-path",
+				"internal/exec must not import reflect; the engines dispatch through flat switches, not reflection")
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		mt, ok := n.(*ast.MapType)
+		if !ok {
+			return true
+		}
+		if _, ok := mt.Value.(*ast.FuncType); ok {
+			report(mt.Pos(), "exec-hot-path",
+				"func-valued map in internal/exec is a map-based dispatch table; use a flat switch or an array indexed by opcode")
 		}
 		return true
 	})

@@ -169,6 +169,40 @@ func main() {
 	}
 }
 
+func TestExecHotPathRule(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  string
+		src  string
+		want bool // an exec-hot-path finding expected
+	}{
+		{name: "reflect import", rel: "internal/exec/fast.go", want: true,
+			src: "package exec\nimport \"reflect\"\nfunc kind(v any) reflect.Kind { return reflect.TypeOf(v).Kind() }\n"},
+		{name: "func-valued map type", rel: "internal/exec/fast.go", want: true,
+			src: "package exec\nvar _ = map[string]func(){}\n"},
+		{name: "func-valued map in signature", rel: "internal/exec/fast.go", want: true,
+			src: "package exec\nfunc dispatch(tab map[int]func(int) int, op int) int { return tab[op](op) }\n"},
+		{name: "data map is fine", rel: "internal/exec/fast.go", want: false,
+			src: "package exec\nfunc index(names map[string]int, k string) int { return names[k] }\n"},
+		{name: "flat switch is fine", rel: "internal/exec/fast.go", want: false,
+			src: "package exec\nfunc step(op int) int { switch op {\ncase 0:\nreturn 1\n}\nreturn 0 }\n"},
+		{name: "reflect allowed elsewhere", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nimport \"reflect\"\nfunc eq(a, b any) bool { return reflect.DeepEqual(a, b) }\n"},
+		{name: "dispatch map allowed elsewhere", rel: "internal/foo/a.go", want: false,
+			src: "package foo\nvar _ = map[string]func(){}\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			findings := lintSrc(t, c.rel, c.src)
+			if c.want {
+				wantRule(t, findings, "exec-hot-path")
+			} else if len(findings) != 0 {
+				t.Errorf("unexpected findings: %v", findings)
+			}
+		})
+	}
+}
+
 // TestRepoIsClean is the enforcement test: the repository itself must lint
 // clean (the CI lint job runs the binary; this keeps `go test ./...`
 // equivalent).

@@ -1,0 +1,1176 @@
+// Lowering from the compiled unit's AST + symbol table to bytecode. The
+// lowering never fails: anything it cannot model natively falls back to the
+// closure tier (bEval/bStmt instructions invoking the mid-tier's
+// pre-resolved closures), so every program lowers and the result is
+// bit-identical to the walk oracle on every path.
+//
+// Compile-time work:
+//   - constant folding: parameter constants, MPI named constants, and any
+//     arithmetic over them fold into deduplicated initialized registers
+//     (folded constants are materialized once per activation — the
+//     loop-invariant form of every constant subexpression);
+//   - charge batching: walker cost charges accumulate into per-basic-block
+//     charge vectors, flushed as one Compute call (bCharge);
+//   - bounds-check elimination: subscripts affine in statically-ranged DO
+//     variables (internal/dep's algebra) against statically-folded array
+//     geometry compile to unchecked offset arithmetic (bLoadU/bStoreU)
+//     with the address geometry (lower bounds, strides) hoisted to the
+//     descriptor at compile time;
+//   - static kind analysis: scalars and arrays with stable runtime kinds
+//     get integer fast-path opcodes (bAddI, bLtI, ...), with DO-variable
+//     writes and call-site aliasing poisoning unstable kinds.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+	"repro/internal/ftn"
+	"repro/internal/interp"
+)
+
+// kUnknown marks a statically-unknown runtime kind.
+const kUnknown interp.Kind = -1
+
+// Bytecode returns the lazily-lowered bytecode form of the program's main
+// unit. Lowering never fails and runs at most once per Program.
+func (p *Program) Bytecode() *bprog {
+	p.bcOnce.Do(func() {
+		p.bc = lowerMain(p)
+	})
+	return p.bc
+}
+
+// arrGeo is the static shape knowledge for one array slot.
+type arrGeo struct {
+	aslot int32
+	// static geometry; nil slices when only non-nilness is proven
+	lo, hi, stride []int64
+	kind           interp.Kind
+}
+
+// factRange is a DO variable's statically-proven value range inside its
+// loop body.
+type factRange struct{ lo, hi int64 }
+
+// rv is a lowered expression: its result register and statically-known kind.
+type rv struct {
+	reg int32
+	k   interp.Kind
+}
+
+// loopFrame tracks patch targets while lowering one DO body.
+type loopFrame struct {
+	exitPatches []int32 // bJmp pcs needing endPC
+	contPatches []int32 // bJmp pcs needing contPC
+	stmtPatches []int32 // bStmt pcs needing (contPC, endPC)
+}
+
+// bc is the lowering state for one unit.
+type bc struct {
+	c  *comp
+	bp *bprog
+
+	nreg      int32
+	constRegs map[interp.Value]int32
+	vecMap    map[[5]int64]int32
+	pending   [5]int64
+
+	foldConst map[string]interp.Value // folded named-constant values
+	mpiName   map[string]bool         // MPI constants safe to fold in the body
+	mpiSetup  map[string]bool         // MPI constants safe to fold during setup
+	kills     map[string]bool         // scalar names stored anywhere in the unit
+	poisoned  map[string]bool         // names whose cell kind may change at runtime
+	declScal  map[string]interp.Kind  // first non-param scalar decl kind
+	isParam   map[string]bool
+	cellSet   map[string]bool // cell guaranteed to exist when the body runs
+	scalK     map[string]interp.Kind
+	arrInfo   map[string]*arrGeo
+	intConsts map[string]int64
+	facts     map[string]factRange
+	loops     []*loopFrame
+}
+
+// lowerMain lowers the main unit's body. Frame setup stays on the closure
+// tier (it runs once per activation); the body — where all repeated work
+// lives — becomes bytecode.
+func lowerMain(p *Program) *bprog {
+	c := p.main.cm
+	b := &bc{
+		c:         c,
+		bp:        &bprog{},
+		constRegs: map[interp.Value]int32{},
+		vecMap:    map[[5]int64]int32{},
+		foldConst: map[string]interp.Value{},
+		mpiName:   map[string]bool{},
+		mpiSetup:  map[string]bool{},
+		kills:     map[string]bool{},
+		poisoned:  map[string]bool{},
+		declScal:  map[string]interp.Kind{},
+		isParam:   map[string]bool{},
+		cellSet:   map[string]bool{},
+		scalK:     map[string]interp.Kind{},
+		arrInfo:   map[string]*arrGeo{},
+		intConsts: map[string]int64{},
+		facts:     map[string]factRange{},
+	}
+	b.analyze()
+	for _, st := range c.u.Body {
+		b.stmt(st)
+	}
+	b.flush()
+	b.bp.nreg = int(b.nreg)
+	return b.bp
+}
+
+// --- static analysis ---
+
+func (b *bc) analyze() {
+	u := b.c.u
+	for _, p := range u.Params {
+		b.isParam[p] = true
+	}
+	b.scanKills(u.Body)
+
+	// Declared-name facts: first non-param scalar decl fixes the cell kind
+	// (later decls keep the existing cell); last non-param array decl fixes
+	// the geometry (later decls replace the allocation).
+	hasDeclEntity := map[string]bool{}
+	for _, d := range u.Decls {
+		for _, e := range d.Entities {
+			hasDeclEntity[e.Name] = true
+			if d.Parameter {
+				continue
+			}
+			if len(d.DimsOf(e)) > 0 {
+				continue // array geometry resolved below, decl-order last-wins
+			}
+			if _, seen := b.declScal[e.Name]; seen {
+				continue
+			}
+			b.declScal[e.Name] = declKind(d.Type.Base, e.Init)
+		}
+	}
+
+	// MPI named constants fold when nothing can ever shadow them: no
+	// declaration, not a dummy, and (for body reads) never stored.
+	for _, s := range b.c.order {
+		if !s.isMPI || hasDeclEntity[s.name] || b.isParam[s.name] {
+			continue
+		}
+		b.mpiSetup[s.name] = true
+		if !b.kills[s.name] {
+			b.mpiName[s.name] = true
+			b.intConsts[s.name] = s.mpi
+		}
+	}
+
+	// Parameter constants fold in declaration order; a forward reference
+	// (which the walker resolves to an implicit zero mid-setup) marks the
+	// constant unfoldable rather than guessing.
+	unfoldable := map[string]bool{}
+	for _, d := range u.Decls {
+		if !d.Parameter {
+			continue
+		}
+		for _, e := range d.Entities {
+			if e.Init == nil {
+				continue
+			}
+			v, ok := b.foldSetup(e.Init)
+			if !ok || unfoldable[e.Name] {
+				delete(b.foldConst, e.Name)
+				unfoldable[e.Name] = true
+				continue
+			}
+			b.foldConst[e.Name] = interp.CoerceDecl(d.Type.Base, v)
+		}
+	}
+	for n, v := range b.foldConst {
+		if v.Kind == interp.KInt {
+			b.intConsts[n] = v.I
+		}
+	}
+
+	// Array geometry: non-dummy names with at least one non-param array
+	// decl are non-nil after setup; statically-foldable dims give BCE
+	// geometry (column-major strides, exactly NewArray's layout).
+	for _, d := range u.Decls {
+		if d.Parameter {
+			continue
+		}
+		for _, e := range d.Entities {
+			dims := d.DimsOf(e)
+			if len(dims) == 0 || b.isParam[e.Name] {
+				continue
+			}
+			s := b.c.syms[e.Name]
+			if s == nil || s.aslot < 0 {
+				continue
+			}
+			g := &arrGeo{aslot: int32(s.aslot), kind: storageKind(d.Type.Base)}
+			static := true
+			stride := int64(1)
+			for _, dim := range dims {
+				lo := int64(1)
+				if dim.Lo != nil {
+					v, ok := b.foldSetup(dim.Lo)
+					if !ok {
+						static = false
+						break
+					}
+					lo = v.AsInt()
+				}
+				if dim.Hi == nil {
+					static = false // assumed-size: setup errors anyway
+					break
+				}
+				hv, ok := b.foldSetup(dim.Hi)
+				if !ok {
+					static = false
+					break
+				}
+				hi := hv.AsInt()
+				if hi-lo+1 < 0 {
+					static = false
+					break
+				}
+				g.lo = append(g.lo, lo)
+				g.hi = append(g.hi, hi)
+				g.stride = append(g.stride, stride)
+				stride *= hi - lo + 1
+			}
+			if !static {
+				g.lo, g.hi, g.stride = nil, nil, nil
+			}
+			b.arrInfo[e.Name] = g // last decl wins
+		}
+	}
+
+	// Cell existence and static kinds. A cell is sure when a non-param
+	// scalar decl creates it during setup, or when the name is eligible
+	// for pre-creation (the walker would lazily create the same cell).
+	for _, s := range b.c.order {
+		name := s.name
+		if k, ok := b.declScal[name]; ok {
+			b.cellSet[name] = true
+			if b.isParam[name] {
+				k = kUnknown // dummy: the caller's cell, any kind
+			}
+			b.scalK[name] = k
+			continue
+		}
+		if s.sslot >= 0 && s.cslot < 0 && s.aslot < 0 && !s.isMPI && !b.isParam[name] {
+			b.cellSet[name] = true
+			b.scalK[name] = s.zero.Kind
+			b.bp.prec = append(b.bp.prec, precEntry{sslot: int32(s.sslot), zero: s.zero})
+		}
+	}
+	// Poisoning: DO-variable writes store IntVal wholesale and call-site
+	// aliasing lets callees do the same, so only KInt survives (CoerceStore
+	// preserves an integer cell's kind and IntVal writes keep it).
+	for name := range b.poisoned {
+		if k, ok := b.scalK[name]; ok && k != interp.KInt {
+			b.scalK[name] = kUnknown
+		}
+	}
+}
+
+// declKind is the runtime kind of a cell created by scalarDeclStep:
+// ZeroOf(KindOf(base)) without an initializer, CoerceDecl(base, init) with
+// one — which only pins the kind for integer and real declarations.
+func declKind(base ftn.BaseType, init ftn.Expr) interp.Kind {
+	k := interp.KindOf(base)
+	switch k {
+	case interp.KInt, interp.KReal:
+		return k
+	case interp.KBool:
+		if init == nil {
+			return k
+		}
+	}
+	return kUnknown
+}
+
+// storageKind is the kind of values an array's storage yields: integer,
+// real, and logical storages are kind-stable, anything else is not.
+func storageKind(base ftn.BaseType) interp.Kind {
+	switch k := interp.KindOf(base); k {
+	case interp.KInt, interp.KReal, interp.KBool:
+		return k
+	}
+	return kUnknown
+}
+
+// scanKills records names stored through scalar cells anywhere in stmts:
+// assignment targets, DO variables, and top-level Ident call arguments
+// (callees receive those by reference).
+func (b *bc) scanKills(stmts []ftn.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ftn.AssignStmt:
+			if id, ok := s.LHS.(*ftn.Ident); ok {
+				b.kills[id.Name] = true
+			}
+		case *ftn.DoStmt:
+			b.kills[s.Var] = true
+			b.poisoned[s.Var] = true
+			b.scanKills(s.Body)
+		case *ftn.IfStmt:
+			b.scanKills(s.Then)
+			b.scanKills(s.Else)
+		case *ftn.CallStmt:
+			for _, a := range s.Args {
+				if id, ok := a.(*ftn.Ident); ok {
+					b.kills[id.Name] = true
+					b.poisoned[id.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// killsIn returns the kill set of a statement list in isolation (for DO
+// fact validity: the variable must not be stored inside its own body).
+func killsIn(stmts []ftn.Stmt) map[string]bool {
+	sub := &bc{kills: map[string]bool{}, poisoned: map[string]bool{}}
+	sub.scanKills(stmts)
+	return sub.kills
+}
+
+// --- constant folding ---
+
+// foldSetup folds an expression in frame-setup context (constant
+// initializers, array bounds): literals, already-folded constants, and MPI
+// names with no declaration. No charge counting — setup stays on closures.
+func (b *bc) foldSetup(e ftn.Expr) (interp.Value, bool) {
+	switch e := e.(type) {
+	case *ftn.IntLit:
+		return interp.IntVal(e.Value), true
+	case *ftn.RealLit:
+		return interp.RealVal(e.Value), true
+	case *ftn.StrLit:
+		return interp.StrVal(e.Value), true
+	case *ftn.BoolLit:
+		return interp.BoolVal(e.Value), true
+	case *ftn.Ident:
+		if v, ok := b.foldConst[e.Name]; ok {
+			return v, true
+		}
+		if b.mpiSetup[e.Name] {
+			return interp.IntVal(b.c.syms[e.Name].mpi), true
+		}
+	case *ftn.Unary:
+		v, ok := b.foldSetup(e.X)
+		if !ok {
+			return interp.Value{}, false
+		}
+		return foldUnary(e.Op, v)
+	case *ftn.Binary:
+		xv, ok := b.foldSetup(e.X)
+		if !ok {
+			return interp.Value{}, false
+		}
+		if e.Op == ".and." || e.Op == ".or." {
+			if xv.Kind != interp.KBool {
+				return interp.Value{}, false
+			}
+			if (e.Op == ".and." && !xv.B) || (e.Op == ".or." && xv.B) {
+				return interp.BoolVal(xv.B), true
+			}
+			yv, ok := b.foldSetup(e.Y)
+			if !ok || yv.Kind != interp.KBool {
+				return interp.Value{}, false
+			}
+			return yv, true
+		}
+		yv, ok := b.foldSetup(e.Y)
+		if !ok {
+			return interp.Value{}, false
+		}
+		return foldBinary(e.Op, xv, yv)
+	}
+	return interp.Value{}, false
+}
+
+// fold folds a body expression, counting the Op charges the walker would
+// make evaluating it (folded subtrees still charge — only the evaluation
+// work disappears, never the accounting).
+func (b *bc) fold(e ftn.Expr) (interp.Value, int64, bool) {
+	switch e := e.(type) {
+	case *ftn.IntLit:
+		return interp.IntVal(e.Value), 0, true
+	case *ftn.RealLit:
+		return interp.RealVal(e.Value), 0, true
+	case *ftn.StrLit:
+		return interp.StrVal(e.Value), 0, true
+	case *ftn.BoolLit:
+		return interp.BoolVal(e.Value), 0, true
+	case *ftn.Ident:
+		if v, ok := b.foldConst[e.Name]; ok {
+			return v, 0, true
+		}
+		if b.mpiName[e.Name] {
+			return interp.IntVal(b.c.syms[e.Name].mpi), 0, true
+		}
+	case *ftn.Unary:
+		v, ops, ok := b.fold(e.X)
+		if !ok {
+			return interp.Value{}, 0, false
+		}
+		r, ok := foldUnary(e.Op, v)
+		return r, ops + 1, ok
+	case *ftn.Binary:
+		xv, xops, ok := b.fold(e.X)
+		if !ok {
+			return interp.Value{}, 0, false
+		}
+		if e.Op == ".and." || e.Op == ".or." {
+			if xv.Kind != interp.KBool {
+				return interp.Value{}, 0, false
+			}
+			if e.Op == ".and." && !xv.B {
+				return interp.BoolVal(false), xops + 1, true
+			}
+			if e.Op == ".or." && xv.B {
+				return interp.BoolVal(true), xops + 1, true
+			}
+			yv, yops, ok := b.fold(e.Y)
+			if !ok || yv.Kind != interp.KBool {
+				return interp.Value{}, 0, false
+			}
+			return yv, xops + 1 + yops, true
+		}
+		yv, yops, ok := b.fold(e.Y)
+		if !ok {
+			return interp.Value{}, 0, false
+		}
+		r, ok := foldBinary(e.Op, xv, yv)
+		return r, xops + 1 + yops, ok
+	}
+	return interp.Value{}, 0, false
+}
+
+func foldUnary(op string, v interp.Value) (interp.Value, bool) {
+	switch op {
+	case "-":
+		if v.Kind == interp.KInt {
+			return interp.IntVal(-v.I), true
+		}
+		return interp.RealVal(-v.AsReal()), true
+	case "+":
+		return v, true
+	case ".not.":
+		if v.Kind != interp.KBool {
+			return interp.Value{}, false
+		}
+		return interp.BoolVal(!v.B), true
+	}
+	return interp.Value{}, false
+}
+
+func foldBinary(op string, x, y interp.Value) (interp.Value, bool) {
+	switch op {
+	case "+", "-", "*", "/", "**":
+		v, err := interp.NumericBinop(op, x, y)
+		if err != nil {
+			return interp.Value{}, false // fold no errors; runtime raises them
+		}
+		return v, true
+	case "==", "/=", "<", "<=", ">", ">=":
+		v, err := interp.Compare(op, x, y)
+		if err != nil {
+			return interp.Value{}, false
+		}
+		return v, true
+	}
+	return interp.Value{}, false
+}
+
+// --- emission helpers ---
+
+func (b *bc) emit(op bop, args ...int32) int32 {
+	ins := bins{op: op, b: -1, c: -1, d: -1}
+	if len(args) > 0 {
+		ins.a = args[0]
+	}
+	if len(args) > 1 {
+		ins.b = args[1]
+	}
+	if len(args) > 2 {
+		ins.c = args[2]
+	}
+	if len(args) > 3 {
+		ins.d = args[3]
+	}
+	b.bp.code = append(b.bp.code, ins)
+	return int32(len(b.bp.code) - 1)
+}
+
+func (b *bc) newReg() int32 {
+	r := b.nreg
+	b.nreg++
+	if int(b.nreg) > len(b.bp.regInit) {
+		b.bp.regInit = append(b.bp.regInit, interp.Value{})
+	}
+	return r
+}
+
+// constReg interns a folded value as an initialized register.
+func (b *bc) constReg(v interp.Value) int32 {
+	if r, ok := b.constRegs[v]; ok {
+		return r
+	}
+	r := b.newReg()
+	b.bp.regInit[r] = v
+	b.constRegs[v] = r
+	return r
+}
+
+// flush emits the pending charge vector as one bCharge, deduplicating
+// vectors program-wide. Must run before any instruction that can error,
+// observe time, or transfer control.
+func (b *bc) flush() {
+	if b.pending == ([5]int64{}) {
+		return
+	}
+	vec := b.pending
+	b.pending = [5]int64{}
+	idx, ok := b.vecMap[vec]
+	if !ok {
+		idx = int32(len(b.bp.vecs))
+		b.bp.vecs = append(b.bp.vecs, vec)
+		b.vecMap[vec] = idx
+	}
+	b.emit(bCharge, idx)
+}
+
+// here is the next instruction's pc — a label. Pending charges never cross
+// a label (all callers flush first).
+func (b *bc) here() int32 { return int32(len(b.bp.code)) }
+
+func (b *bc) errIdx(err error) int32 {
+	b.bp.errs = append(b.bp.errs, err)
+	return int32(len(b.bp.errs) - 1)
+}
+
+func (b *bc) evalIdx(fn exprFn) int32 {
+	b.bp.evals = append(b.bp.evals, fn)
+	return int32(len(b.bp.evals) - 1)
+}
+
+func (b *bc) stmtIdx(fn stmtFn) int32 {
+	b.bp.stmts = append(b.bp.stmts, fn)
+	return int32(len(b.bp.stmts) - 1)
+}
+
+func (b *bc) opIdx(d opDesc) int32 {
+	b.bp.ops = append(b.bp.ops, d)
+	return int32(len(b.bp.ops) - 1)
+}
+
+// patch sets the a-operand (jump target) of instruction pc.
+func (b *bc) patch(pc, target int32) { b.bp.code[pc].a = target }
+
+// loadFast reports whether name's reads can address the cell directly.
+func (b *bc) loadFast(name string) bool {
+	s := b.c.syms[name]
+	return s != nil && b.cellSet[name] && s.cslot < 0
+}
+
+// storeFast reports whether name's writes can address the cell directly.
+func (b *bc) storeFast(name string) bool { return b.cellSet[name] }
+
+// stmtFallback lowers a statement through the closure tier. Inside a
+// lowered loop, EXIT/CYCLE sentinels escaping the closure re-enter the
+// bytecode loop via patched jump targets — exactly the walker's innermost
+// runStmts handling.
+func (b *bc) stmtFallback(s ftn.Stmt) {
+	fn := b.c.stmt(s)
+	if fn == nil {
+		return
+	}
+	b.flush()
+	pc := b.emit(bStmt, b.stmtIdx(fn), -1, -1)
+	if n := len(b.loops); n > 0 {
+		lf := b.loops[n-1]
+		lf.stmtPatches = append(lf.stmtPatches, pc)
+	}
+}
+
+// evalFallback lowers an expression through the closure tier.
+func (b *bc) evalFallback(e ftn.Expr) rv {
+	b.flush()
+	dst := b.newReg()
+	b.emit(bEval, dst, b.evalIdx(b.c.expr(e)))
+	return rv{reg: dst, k: kUnknown}
+}
+
+// --- statement lowering ---
+
+func (b *bc) stmt(s ftn.Stmt) {
+	switch s := s.(type) {
+	case *ftn.CommentStmt, *ftn.ContinueStmt:
+	case *ftn.AssignStmt:
+		b.assign(s)
+	case *ftn.DoStmt:
+		b.doStmt(s)
+	case *ftn.IfStmt:
+		b.ifStmt(s)
+	case *ftn.ReturnStmt:
+		b.flush()
+		b.emit(bRet)
+	case *ftn.StopStmt:
+		b.flush()
+		b.emit(bStop)
+	case *ftn.ExitStmt:
+		b.flush()
+		if n := len(b.loops); n > 0 {
+			lf := b.loops[n-1]
+			lf.exitPatches = append(lf.exitPatches, b.emit(bJmp, -1))
+		} else {
+			b.emit(bExitS)
+		}
+	case *ftn.CycleStmt:
+		b.flush()
+		if n := len(b.loops); n > 0 {
+			lf := b.loops[n-1]
+			lf.contPatches = append(lf.contPatches, b.emit(bJmp, -1))
+		} else {
+			b.emit(bCycleS)
+		}
+	default:
+		// MPI calls, user calls, prints, and anything unmodeled: the
+		// closure tier's pre-resolved bindings.
+		b.stmtFallback(s)
+	}
+}
+
+func (b *bc) assign(s *ftn.AssignStmt) {
+	switch lhs := s.LHS.(type) {
+	case *ftn.Ident:
+		if !b.storeFast(lhs.Name) {
+			b.stmtFallback(s)
+			return
+		}
+		v := b.expr(s.RHS)
+		b.pending[kAssign]++
+		b.emit(bStoreS, int32(b.c.syms[lhs.Name].sslot), v.reg)
+	case *ftn.Ref:
+		g := b.arrInfo[lhs.Name]
+		if g == nil {
+			b.stmtFallback(s)
+			return
+		}
+		v := b.expr(s.RHS)
+		subs := b.lowerSubs(lhs.Args)
+		b.pending[kStore]++
+		if gi, ok := b.geoAccess(g, lhs.Args, subs); ok {
+			b.emit(bStoreU, gi, v.reg)
+			return
+		}
+		b.flush()
+		ai := b.accIdx(accDesc{aslot: g.aslot, subs: subs, pos: lhs.Pos()})
+		b.emit(bStoreA, ai, v.reg)
+	default:
+		b.stmtFallback(s)
+	}
+}
+
+func (b *bc) accIdx(d accDesc) int32 {
+	b.bp.accs = append(b.bp.accs, d)
+	return int32(len(b.bp.accs) - 1)
+}
+
+// geoAccess builds an unchecked access when every subscript is affine in
+// statically-ranged DO variables and provably inside the folded geometry.
+func (b *bc) geoAccess(g *arrGeo, args []ftn.Expr, subs []int32) (int32, bool) {
+	if g.lo == nil || len(args) != len(g.lo) {
+		return 0, false
+	}
+	env := &dep.Env{LoopVars: map[string]bool{}, Consts: b.intConsts}
+	for v := range b.facts {
+		env.LoopVars[v] = true
+	}
+	for i, e := range args {
+		a, ok := dep.FromExpr(e, env)
+		if !ok || len(a.Syms) != 0 {
+			return 0, false
+		}
+		mn, mx, ok := b.affineRange(a)
+		if !ok || mn < g.lo[i] || mx > g.hi[i] {
+			return 0, false
+		}
+	}
+	b.bp.geos = append(b.bp.geos, geoDesc{aslot: g.aslot, subs: subs, lo: g.lo, stride: g.stride})
+	return int32(len(b.bp.geos) - 1), true
+}
+
+// affineRange bounds an affine form over the current DO-variable facts,
+// rejecting anything near overflow territory.
+func (b *bc) affineRange(a dep.Affine) (int64, int64, bool) {
+	const lim = int64(1) << 40
+	mn, mx := a.Const, a.Const
+	if mn < -lim || mn > lim {
+		return 0, 0, false
+	}
+	for v, c := range a.Coef {
+		if c == 0 {
+			continue
+		}
+		f, ok := b.facts[v]
+		if !ok {
+			return 0, 0, false
+		}
+		if c < -lim || c > lim || f.lo < -lim || f.lo > lim || f.hi < -lim || f.hi > lim {
+			return 0, 0, false
+		}
+		t1, t2 := c*f.lo, c*f.hi
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		mn += t1
+		mx += t2
+		if mn < -lim || mx > lim {
+			return 0, 0, false
+		}
+	}
+	return mn, mx, true
+}
+
+func (b *bc) lowerSubs(args []ftn.Expr) []int32 {
+	subs := make([]int32, len(args))
+	for i, a := range args {
+		subs[i] = b.expr(a).reg
+	}
+	return subs
+}
+
+func (b *bc) ifStmt(s *ftn.IfStmt) {
+	cond := b.expr(s.Cond)
+	b.pending[kOp]++
+	b.flush()
+	var jf int32
+	if cond.k == interp.KBool {
+		jf = b.emit(bJF, -1, cond.reg)
+	} else {
+		jf = b.emit(bJFChk, -1, cond.reg, b.errIdx(rte(s.Pos(), "IF condition is not logical")))
+	}
+	for _, st := range s.Then {
+		b.stmt(st)
+	}
+	if len(s.Else) > 0 {
+		b.flush()
+		jend := b.emit(bJmp, -1)
+		b.patch(jf, b.here())
+		for _, st := range s.Else {
+			b.stmt(st)
+		}
+		b.flush()
+		b.patch(jend, b.here())
+		return
+	}
+	b.flush()
+	b.patch(jf, b.here())
+}
+
+func (b *bc) doStmt(s *ftn.DoStmt) {
+	if !b.storeFast(s.Var) {
+		b.stmtFallback(s)
+		return
+	}
+	sv := b.c.syms[s.Var]
+
+	// Bounds and step evaluate once, before the loop; fold-aware.
+	loV, loOps, loConst := b.fold(s.Lo)
+	hiV, hiOps, hiConst := b.fold(s.Hi)
+	var lo, hi rv
+	if loConst {
+		b.pending[kOp] += loOps
+		lo = rv{reg: b.constReg(loV), k: loV.Kind}
+	} else {
+		lo = b.expr(s.Lo)
+	}
+	if hiConst {
+		b.pending[kOp] += hiOps
+		hi = rv{reg: b.constReg(hiV), k: hiV.Kind}
+	} else {
+		hi = b.expr(s.Hi)
+	}
+	fd := forDesc{
+		loReg: lo.reg, hiReg: hi.reg, stepReg: -1,
+		sslot: int32(sv.sslot),
+		vReg:  b.newReg(), tripsReg: b.newReg(), stepValReg: b.newReg(),
+		errStep: rte(s.Pos(), "DO step is zero"),
+	}
+	stepConst := true
+	stepV := interp.IntVal(1)
+	if s.Step != nil {
+		var stepOps int64
+		stepV, stepOps, stepConst = b.fold(s.Step)
+		if stepConst {
+			b.pending[kOp] += stepOps
+			fd.stepReg = b.constReg(stepV)
+		} else {
+			fd.stepReg = b.expr(s.Step).reg
+		}
+	}
+	fdIdx := int32(len(b.bp.fors))
+	b.bp.fors = append(b.bp.fors, fd)
+	b.flush()
+	b.emit(bForPrep, fdIdx)
+	head := b.here()
+	b.emit(bForIter, fdIdx)
+
+	// Register a value-range fact when the trip space is fully static and
+	// the body never stores the variable.
+	factSaved, hadFact := b.facts[s.Var], false
+	if old, ok := b.facts[s.Var]; ok {
+		factSaved, hadFact = old, true
+	}
+	registered := false
+	if loConst && hiConst && stepConst {
+		loI, hiI := loV.AsInt(), hiV.AsInt()
+		stepI := stepV.AsInt()
+		if stepI != 0 {
+			trips := (hiI - loI + stepI) / stepI
+			if trips > 0 && !killsIn(s.Body)[s.Var] {
+				last := loI + (trips-1)*stepI
+				fl, fh := loI, last
+				if fl > fh {
+					fl, fh = fh, fl
+				}
+				b.facts[s.Var] = factRange{lo: fl, hi: fh}
+				registered = true
+			}
+		}
+	}
+
+	b.loops = append(b.loops, &loopFrame{})
+	b.pending[kLoopIter]++
+	for _, st := range s.Body {
+		b.stmt(st)
+	}
+	b.flush()
+	contPC := b.here()
+	b.emit(bForNext, fdIdx)
+	endPC := b.here()
+
+	b.bp.fors[fdIdx].headPC = head
+	b.bp.fors[fdIdx].endPC = endPC
+	lf := b.loops[len(b.loops)-1]
+	b.loops = b.loops[:len(b.loops)-1]
+	for _, pc := range lf.exitPatches {
+		b.patch(pc, endPC)
+	}
+	for _, pc := range lf.contPatches {
+		b.patch(pc, contPC)
+	}
+	for _, pc := range lf.stmtPatches {
+		b.bp.code[pc].b = contPC
+		b.bp.code[pc].c = endPC
+	}
+	if registered {
+		if hadFact {
+			b.facts[s.Var] = factSaved
+		} else {
+			delete(b.facts, s.Var)
+		}
+	}
+}
+
+// --- expression lowering ---
+
+func (b *bc) expr(e ftn.Expr) rv {
+	if v, ops, ok := b.fold(e); ok {
+		b.pending[kOp] += ops
+		return rv{reg: b.constReg(v), k: v.Kind}
+	}
+	switch e := e.(type) {
+	case *ftn.Ident:
+		return b.identLoad(e)
+	case *ftn.Unary:
+		return b.unary(e)
+	case *ftn.Binary:
+		return b.binary(e)
+	case *ftn.Ref:
+		return b.ref(e)
+	}
+	// Literals always fold; anything else unmodeled goes to the closure.
+	return b.evalFallback(e)
+}
+
+func (b *bc) identLoad(e *ftn.Ident) rv {
+	if b.loadFast(e.Name) {
+		dst := b.newReg()
+		b.emit(bLoadS, dst, int32(b.c.syms[e.Name].sslot))
+		return rv{reg: dst, k: b.scalK[e.Name]}
+	}
+	b.flush()
+	dst := b.newReg()
+	b.emit(bEval, dst, b.evalIdx(b.c.identRead(e)))
+	return rv{reg: dst, k: kUnknown}
+}
+
+func (b *bc) unary(e *ftn.Unary) rv {
+	x := b.expr(e.X)
+	b.pending[kOp]++
+	dst := b.newReg()
+	switch e.Op {
+	case "-":
+		if x.k == interp.KInt {
+			b.emit(bNegI, dst, x.reg)
+			return rv{reg: dst, k: interp.KInt}
+		}
+		b.emit(bNeg, dst, x.reg)
+		k := kUnknown
+		if x.k != kUnknown {
+			k = interp.KReal // any known non-int negates to real
+		}
+		return rv{reg: dst, k: k}
+	case "+":
+		return rv{reg: x.reg, k: x.k}
+	case ".not.":
+		if x.k == interp.KBool {
+			b.emit(bNot, dst, x.reg)
+			return rv{reg: dst, k: interp.KBool}
+		}
+		b.flush()
+		b.emit(bNotChk, dst, x.reg, b.errIdx(rte(e.Pos(), ".not. of non-logical")))
+		return rv{reg: dst, k: interp.KBool}
+	}
+	b.flush()
+	b.emit(bErr, b.errIdx(rte(e.Pos(), "bad unary operator %q", e.Op)))
+	return rv{reg: dst, k: kUnknown}
+}
+
+func (b *bc) binary(e *ftn.Binary) rv {
+	op := e.Op
+	switch op {
+	case ".and.", ".or.":
+		return b.logical(e)
+	case "+", "-", "*", "/", "**":
+		return b.arith(e)
+	case "==", "/=", "<", "<=", ">", ">=":
+		return b.compare(e)
+	}
+	// Unknown operator: the walker evaluates both sides, charges, then
+	// fails in Compare.
+	b.expr(e.X)
+	b.expr(e.Y)
+	b.pending[kOp]++
+	b.flush()
+	b.emit(bErr, b.errIdx(rte(e.Pos(), "%v", fmt.Errorf("bad comparison %q", op))))
+	return rv{reg: b.newReg(), k: kUnknown}
+}
+
+func (b *bc) logical(e *ftn.Binary) rv {
+	isAnd := e.Op == ".and."
+	x := b.expr(e.X)
+	if x.k != interp.KBool {
+		// Kind check precedes the Op charge in the walker.
+		b.flush()
+		b.emit(bBoolChk, x.reg, b.errIdx(rte(e.Pos(), "%s of non-logical", e.Op)))
+	}
+	b.pending[kOp]++
+	b.flush()
+	dst := b.newReg()
+	var jShort int32
+	if isAnd {
+		jShort = b.emit(bJF, -1, x.reg)
+	} else {
+		jShort = b.emit(bJT, -1, x.reg)
+	}
+	y := b.expr(e.Y)
+	if y.k != interp.KBool {
+		b.flush()
+		b.emit(bBoolChk, y.reg, b.errIdx(rte(e.Pos(), "%s of non-logical", e.Op)))
+	}
+	b.emit(bMove, dst, y.reg)
+	b.flush()
+	jEnd := b.emit(bJmp, -1)
+	b.patch(jShort, b.here())
+	b.emit(bMove, dst, b.constReg(interp.BoolVal(!isAnd)))
+	b.patch(jEnd, b.here())
+	return rv{reg: dst, k: interp.KBool}
+}
+
+func (b *bc) arith(e *ftn.Binary) rv {
+	x := b.expr(e.X)
+	y := b.expr(e.Y)
+	b.pending[kOp]++
+	dst := b.newReg()
+	op := e.Op
+	bothInt := x.k == interp.KInt && y.k == interp.KInt
+	if bothInt {
+		switch op {
+		case "+":
+			b.emit(bAddI, dst, x.reg, y.reg)
+		case "-":
+			b.emit(bSubI, dst, x.reg, y.reg)
+		case "*":
+			b.emit(bMulI, dst, x.reg, y.reg)
+		case "/":
+			b.flush()
+			b.emit(bDivI, dst, x.reg, y.reg, b.errIdx(rte(e.Pos(), "integer division by zero")))
+		case "**":
+			b.emit(bPowI, dst, x.reg, y.reg)
+		}
+		return rv{reg: dst, k: interp.KInt}
+	}
+	var fast uint8
+	switch op {
+	case "+":
+		fast = 1
+	case "-":
+		fast = 2
+	case "*":
+		fast = 3
+	case "/":
+		fast = 4
+	}
+	maybeIntInt := x.k == kUnknown || y.k == kUnknown
+	if op == "/" && maybeIntInt {
+		// Runtime integer division by zero is possible: flush so the error
+		// surfaces with exact walker-elapsed time.
+		b.flush()
+	}
+	b.emit(bArith, dst, x.reg, y.reg, b.opIdx(opDesc{op: op, pos: e.Pos(), fast: fast}))
+	k := kUnknown
+	if !maybeIntInt {
+		k = interp.KReal // both known, not both int: real promotion
+	}
+	return rv{reg: dst, k: k}
+}
+
+func (b *bc) compare(e *ftn.Binary) rv {
+	x := b.expr(e.X)
+	y := b.expr(e.Y)
+	b.pending[kOp]++
+	dst := b.newReg()
+	var fast uint8
+	switch e.Op {
+	case "==":
+		fast = 1
+	case "/=":
+		fast = 2
+	case "<":
+		fast = 3
+	case "<=":
+		fast = 4
+	case ">":
+		fast = 5
+	case ">=":
+		fast = 6
+	}
+	if x.k == interp.KInt && y.k == interp.KInt {
+		switch fast {
+		case 1:
+			b.emit(bEqI, dst, x.reg, y.reg)
+		case 2:
+			b.emit(bNeI, dst, x.reg, y.reg)
+		case 3:
+			b.emit(bLtI, dst, x.reg, y.reg)
+		case 4:
+			b.emit(bLeI, dst, x.reg, y.reg)
+		case 5:
+			b.emit(bGtI, dst, x.reg, y.reg)
+		case 6:
+			b.emit(bGeI, dst, x.reg, y.reg)
+		}
+		return rv{reg: dst, k: interp.KBool}
+	}
+	b.emit(bCmp, dst, x.reg, y.reg, b.opIdx(opDesc{op: e.Op, pos: e.Pos(), fast: fast}))
+	return rv{reg: dst, k: interp.KBool}
+}
+
+// ref lowers name(args): a native array access when the array is provably
+// non-nil, the intrinsic path when the name can never be an array, and the
+// closure tier for the runtime-dispatched remainder (dummy arrays).
+func (b *bc) ref(e *ftn.Ref) rv {
+	s := b.c.syms[e.Name]
+	if s == nil || s.aslot < 0 {
+		return b.intrinsic(e)
+	}
+	g := b.arrInfo[e.Name]
+	if g == nil {
+		return b.evalFallback(e)
+	}
+	subs := b.lowerSubs(e.Args)
+	b.pending[kLoad]++
+	dst := b.newReg()
+	if gi, ok := b.geoAccess(g, e.Args, subs); ok {
+		b.emit(bLoadU, dst, gi)
+		return rv{reg: dst, k: g.kind}
+	}
+	b.flush()
+	ai := b.accIdx(accDesc{aslot: g.aslot, subs: subs, pos: e.Pos()})
+	b.emit(bLoadA, dst, ai)
+	return rv{reg: dst, k: g.kind}
+}
+
+func (b *bc) intrinsic(e *ftn.Ref) rv {
+	name := e.Name
+	isWtime := name == "mpi_wtime"
+	isIntr := interp.IsIntrinsic(name) && !isWtime
+	pos := e.Pos()
+
+	if isIntr && name == "mod" && len(e.Args) == 2 {
+		a0 := b.expr(e.Args[0])
+		a1 := b.expr(e.Args[1])
+		b.pending[kOp]++
+		dst := b.newReg()
+		b.flush()
+		if a0.k == interp.KInt && a1.k == interp.KInt {
+			b.emit(bModI, dst, a0.reg, a1.reg, b.errIdx(rte(pos, "mod by zero")))
+			return rv{reg: dst, k: interp.KInt}
+		}
+		ii := b.intrIdx(intrDesc{name: "mod", args: []int32{a0.reg, a1.reg}, pos: pos, err: rte(pos, "mod by zero")})
+		b.emit(bMod2, dst, ii)
+		return rv{reg: dst, k: kUnknown}
+	}
+	if isIntr && (name == "min" || name == "max") && len(e.Args) == 2 {
+		a0 := b.expr(e.Args[0])
+		a1 := b.expr(e.Args[1])
+		if a0.k == interp.KInt && a1.k == interp.KInt {
+			b.pending[kOp]++
+			dst := b.newReg()
+			if name == "min" {
+				b.emit(bMinI, dst, a0.reg, a1.reg)
+			} else {
+				b.emit(bMaxI, dst, a0.reg, a1.reg)
+			}
+			return rv{reg: dst, k: interp.KInt}
+		}
+		b.pending[kOp]++
+		dst := b.newReg()
+		b.flush()
+		b.emit(bIntr, dst, b.intrIdx(intrDesc{name: name, args: []int32{a0.reg, a1.reg}, pos: pos}))
+		return rv{reg: dst, k: kUnknown}
+	}
+
+	args := make([]int32, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = b.expr(a).reg
+	}
+	b.pending[kOp]++
+	dst := b.newReg()
+	switch {
+	case isWtime:
+		b.flush()
+		b.emit(bWtime, dst)
+		return rv{reg: dst, k: interp.KReal}
+	case isIntr:
+		b.flush()
+		b.emit(bIntr, dst, b.intrIdx(intrDesc{name: name, args: args, pos: pos}))
+		return rv{reg: dst, k: kUnknown}
+	}
+	b.flush()
+	b.emit(bErr, b.errIdx(rte(pos, "unknown array or intrinsic %q", name)))
+	return rv{reg: dst, k: kUnknown}
+}
+
+func (b *bc) intrIdx(d intrDesc) int32 {
+	b.bp.intrs = append(b.bp.intrs, d)
+	return int32(len(b.bp.intrs) - 1)
+}

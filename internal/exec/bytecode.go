@@ -1,0 +1,572 @@
+// Bytecode execution tier: the main unit's body lowers once into a
+// register-based flat instruction stream dispatched through a single switch
+// (no closure trees, no map lookups on the hot path). The lowering
+// (bcompile.go) performs compile-time constant folding, hoists folded
+// constants and address geometry out of the loop body, batches cost-model
+// charges per basic block into precomputed charge vectors, and eliminates
+// bounds checks for subscripts proven in-range by internal/dep's affine
+// algebra. Statements the lowering does not model natively (MPI calls, user
+// subroutine calls, prints) execute through the same pre-resolved closure
+// bindings the mid-tier compiles, so the bytecode tier is bit-identical to
+// the walk oracle by construction on those paths and differentially proven
+// on the lowered ones.
+//
+// Charge batching is sound because mpi.Rank.Compute is purely additive
+// between observation points (netsim's Proc.Advance only accumulates):
+// Compute(a)+Compute(b) == Compute(a+b) as long as no MPI operation, clock
+// read, or error can occur between the two. The lowering flushes the
+// pending charge vector before every instruction that can observe time,
+// raise an error, or transfer control.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ftn"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+)
+
+// bop is a bytecode opcode. Dispatch is a flat switch in bexec.
+type bop uint8
+
+const (
+	bNop bop = iota
+	// bCharge applies the precomputed charge vector a (one Compute call
+	// covering a whole basic-block's worth of walker charges).
+	bCharge
+	bJmp     // pc = a
+	bJF      // if !regs[b].B  { pc = a }   (cond statically KBool)
+	bJT      // if regs[b].B   { pc = a }
+	bJFChk   // IF-cond form: non-KBool -> errs[c]; else like bJF
+	bBoolChk // if regs[a].Kind != KBool { return errs[b] }
+	bMove    // regs[a] = regs[b]
+	bErr     // return errs[a]
+	bRet     // return errReturn
+	bStop    // return errStop
+	bExitS   // return errExit  (EXIT outside any lowered loop)
+	bCycleS  // return errCycle (CYCLE outside any lowered loop)
+
+	bLoadS  // regs[a] = *fr.scal[b]
+	bStoreS // p := fr.scal[a]; *p = CoerceStore(*p, regs[b])
+
+	// bEval / bStmt bridge to the closure tier: pre-compiled expression and
+	// statement closures with pre-resolved slot and MPI bindings. The
+	// pending charge vector is always flushed before them.
+	bEval // regs[a] = evals[b](x, fr)
+	bStmt // stmts[a](x, fr); errCycle -> pc=b, errExit -> pc=c (when >= 0)
+
+	bNegI // regs[a] = IntVal(-regs[b].I)
+	bNeg  // regs[a] = -x (KInt -> int, else real)
+	bNot  // regs[a] = BoolVal(!regs[b].B)
+	bNotChk
+
+	// Integer fast-path arithmetic (operands statically proven KInt).
+	bAddI
+	bSubI
+	bMulI
+	bDivI // d: error index for division by zero
+	bPowI
+	bModI // d: error index for mod by zero
+	bMinI
+	bMaxI
+	bEqI
+	bNeI
+	bLtI
+	bLeI
+	bGtI
+	bGeI
+
+	bArith // generic arithmetic, ops[d]; runtime int-int fast path inside
+	bCmp   // generic comparison, ops[d]
+
+	bLoadA  // checked array load: accs[b] -> regs[a]
+	bStoreA // checked array store: regs[b] -> accs[a]
+	bLoadU  // unchecked (BCE-proven) load: geos[b] -> regs[a]
+	bStoreU // unchecked store: regs[b] -> geos[a]
+
+	bIntr  // regs[a] = EvalIntrinsic(intrs[b])
+	bMod2  // two-argument mod with runtime int-int fast path
+	bWtime // regs[a] = RealVal(rank.Now().Seconds())
+
+	bForPrep // evaluate DO bounds/step, init loop registers: fors[a]
+	bForIter // loop head: store DO variable, test trip count: fors[a]
+	bForNext // advance DO variable, jump to head: fors[a]
+)
+
+// bins is one instruction. Operand meaning is per-opcode (register indices,
+// descriptor-table indices, or jump targets).
+type bins struct {
+	op         bop
+	a, b, c, d int32
+}
+
+// opDesc describes a generic binary-operator site.
+type opDesc struct {
+	op   string
+	pos  ftn.Pos
+	fast uint8 // arith: 1 + | 2 - | 3 * | 4 / ; cmp: 1 == .. 6 >=
+}
+
+// accDesc is a checked array access (runtime Idx* bounds checks, exactly
+// the walker's errors).
+type accDesc struct {
+	aslot int32
+	subs  []int32
+	pos   ftn.Pos
+}
+
+// geoDesc is a bounds-check-eliminated access: the array's geometry folded
+// at compile time, the offset computed directly from subscript registers.
+type geoDesc struct {
+	aslot  int32
+	subs   []int32
+	lo     []int64
+	stride []int64
+}
+
+// intrDesc is an intrinsic call site.
+type intrDesc struct {
+	name string
+	args []int32
+	pos  ftn.Pos
+	err  error // mod-by-zero error for bMod2, nil otherwise
+}
+
+// forDesc is one lowered DO loop. Loop state (current value, remaining
+// trips, step) lives in registers; the DO variable's frame cell is updated
+// at each iteration head exactly like the walker.
+type forDesc struct {
+	loReg, hiReg int32
+	stepReg      int32 // -1: static step 1
+	sslot        int32
+	vReg         int32
+	tripsReg     int32
+	stepValReg   int32
+	errStep      error
+	headPC       int32
+	endPC        int32
+}
+
+// precEntry pre-creates an implicitly-typed scalar cell after frame setup,
+// so lowered loads/stores address the cell directly. Only names the walker
+// would create with the same zero on first touch are eligible; cells that
+// already exist (dummies, declared names) are left alone.
+type precEntry struct {
+	sslot int32
+	zero  interp.Value
+}
+
+// bprog is the lowered form of a Program's main unit body.
+type bprog struct {
+	code    []bins
+	nreg    int
+	regInit []interp.Value // folded constants, deduplicated
+	prec    []precEntry
+	vecs    [][5]int64 // charge vectors: op, assign, store, load, loopIter
+	errs    []error
+	evals   []exprFn
+	stmts   []stmtFn
+	ops     []opDesc
+	accs    []accDesc
+	geos    []geoDesc
+	intrs   []intrDesc
+	fors    []forDesc
+}
+
+// Charge-vector component indices.
+const (
+	kOp = iota
+	kAssign
+	kStore
+	kLoad
+	kLoopIter
+)
+
+// chargeTab folds a cost model into the program's charge vectors: one
+// virtual-time total per vector, computed once per run.
+func (bp *bprog) chargeTab(costs interp.CostModel) []netsim.Time {
+	tab := make([]netsim.Time, len(bp.vecs))
+	for i, v := range bp.vecs {
+		tab[i] = costs.Op*netsim.Time(v[kOp]) +
+			costs.Assign*netsim.Time(v[kAssign]) +
+			costs.Store*netsim.Time(v[kStore]) +
+			costs.Load*netsim.Time(v[kLoad]) +
+			costs.LoopIter*netsim.Time(v[kLoopIter])
+	}
+	return tab
+}
+
+// RunBytecode executes the program on the bytecode tier. Results are
+// bit-identical to Run (the closure tier) and to the walk oracle.
+func (p *Program) RunBytecode(np int, prof netsim.Profile, costs interp.CostModel) (*interp.Result, error) {
+	bp := p.Bytecode()
+	tab := bp.chargeTab(costs)
+	return p.runEngine(np, prof, costs, func(x *rctx) error {
+		return p.runMainBC(x, bp, tab)
+	})
+}
+
+// runMainBC executes the lowered main body on this context's rank. Frame
+// setup (constants, declarations, views) reuses the compiled setup steps;
+// only the body dispatches through bytecode.
+func (p *Program) runMainBC(x *rctx, bp *bprog, tab []netsim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("interp panic: %v", r)
+		}
+	}()
+	fr := p.main.newFrame()
+	for _, st := range p.main.setup {
+		if err := st(x, fr); err != nil {
+			return err
+		}
+	}
+	x.main = fr
+	for _, pe := range bp.prec {
+		if fr.scal[pe.sslot] == nil {
+			v := pe.zero
+			fr.scal[pe.sslot] = &v
+		}
+	}
+	regs := make([]interp.Value, bp.nreg)
+	copy(regs, bp.regInit)
+	err = bp.bexec(x, fr, regs, tab)
+	if err == errStop || err == errReturn {
+		err = nil
+	}
+	return err
+}
+
+// bexec is the dispatch loop: a flat switch over the instruction stream.
+// No reflection, no map lookups — descriptor tables are slices indexed by
+// instruction operands.
+func (bp *bprog) bexec(x *rctx, fr *frame, regs []interp.Value, tab []netsim.Time) error {
+	code := bp.code
+	pc := 0
+	for pc < len(code) {
+		ins := code[pc]
+		pc++
+		switch ins.op {
+		case bNop:
+		case bCharge:
+			x.rank.Compute(tab[ins.a])
+		case bJmp:
+			pc = int(ins.a)
+		case bJF:
+			if !regs[ins.b].B {
+				pc = int(ins.a)
+			}
+		case bJT:
+			if regs[ins.b].B {
+				pc = int(ins.a)
+			}
+		case bJFChk:
+			if regs[ins.b].Kind != interp.KBool {
+				return bp.errs[ins.c]
+			}
+			if !regs[ins.b].B {
+				pc = int(ins.a)
+			}
+		case bBoolChk:
+			if regs[ins.a].Kind != interp.KBool {
+				return bp.errs[ins.b]
+			}
+		case bMove:
+			regs[ins.a] = regs[ins.b]
+		case bErr:
+			return bp.errs[ins.a]
+		case bRet:
+			return errReturn
+		case bStop:
+			return errStop
+		case bExitS:
+			return errExit
+		case bCycleS:
+			return errCycle
+		case bLoadS:
+			regs[ins.a] = *fr.scal[ins.b]
+		case bStoreS:
+			p := fr.scal[ins.a]
+			*p = interp.CoerceStore(*p, regs[ins.b])
+		case bEval:
+			v, err := bp.evals[ins.b](x, fr)
+			if err != nil {
+				return err
+			}
+			regs[ins.a] = v
+		case bStmt:
+			err := bp.stmts[ins.a](x, fr)
+			switch err {
+			case nil:
+			case errCycle:
+				if ins.b >= 0 {
+					pc = int(ins.b)
+					continue
+				}
+				return err
+			case errExit:
+				if ins.c >= 0 {
+					pc = int(ins.c)
+					continue
+				}
+				return err
+			default:
+				return err
+			}
+		case bNegI:
+			regs[ins.a] = interp.IntVal(-regs[ins.b].I)
+		case bNeg:
+			if v := regs[ins.b]; v.Kind == interp.KInt {
+				regs[ins.a] = interp.IntVal(-v.I)
+			} else {
+				regs[ins.a] = interp.RealVal(-v.AsReal())
+			}
+		case bNot:
+			regs[ins.a] = interp.BoolVal(!regs[ins.b].B)
+		case bNotChk:
+			if regs[ins.b].Kind != interp.KBool {
+				return bp.errs[ins.c]
+			}
+			regs[ins.a] = interp.BoolVal(!regs[ins.b].B)
+		case bAddI:
+			regs[ins.a] = interp.IntVal(regs[ins.b].I + regs[ins.c].I)
+		case bSubI:
+			regs[ins.a] = interp.IntVal(regs[ins.b].I - regs[ins.c].I)
+		case bMulI:
+			regs[ins.a] = interp.IntVal(regs[ins.b].I * regs[ins.c].I)
+		case bDivI:
+			if regs[ins.c].I == 0 {
+				return bp.errs[ins.d]
+			}
+			regs[ins.a] = interp.IntVal(regs[ins.b].I / regs[ins.c].I)
+		case bPowI:
+			// NumericBinop's integer ** branch: negative exponent truncates
+			// to zero, else repeated multiplication.
+			base, e := regs[ins.b].I, regs[ins.c].I
+			if e < 0 {
+				regs[ins.a] = interp.IntVal(0)
+			} else {
+				r := int64(1)
+				for i := int64(0); i < e; i++ {
+					r *= base
+				}
+				regs[ins.a] = interp.IntVal(r)
+			}
+		case bModI:
+			if regs[ins.c].I == 0 {
+				return bp.errs[ins.d]
+			}
+			regs[ins.a] = interp.IntVal(regs[ins.b].I % regs[ins.c].I)
+		case bMinI:
+			a, b := regs[ins.b].I, regs[ins.c].I
+			if b < a {
+				a = b
+			}
+			regs[ins.a] = interp.IntVal(a)
+		case bMaxI:
+			a, b := regs[ins.b].I, regs[ins.c].I
+			if b > a {
+				a = b
+			}
+			regs[ins.a] = interp.IntVal(a)
+		case bEqI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I == regs[ins.c].I)
+		case bNeI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I != regs[ins.c].I)
+		case bLtI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I < regs[ins.c].I)
+		case bLeI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I <= regs[ins.c].I)
+		case bGtI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I > regs[ins.c].I)
+		case bGeI:
+			regs[ins.a] = interp.BoolVal(regs[ins.b].I >= regs[ins.c].I)
+		case bArith:
+			d := &bp.ops[ins.d]
+			xv, yv := regs[ins.b], regs[ins.c]
+			if xv.Kind == interp.KInt && yv.Kind == interp.KInt {
+				switch d.fast {
+				case 1:
+					regs[ins.a] = interp.IntVal(xv.I + yv.I)
+					continue
+				case 2:
+					regs[ins.a] = interp.IntVal(xv.I - yv.I)
+					continue
+				case 3:
+					regs[ins.a] = interp.IntVal(xv.I * yv.I)
+					continue
+				case 4:
+					if yv.I != 0 {
+						regs[ins.a] = interp.IntVal(xv.I / yv.I)
+						continue
+					}
+				}
+			}
+			v, err := interp.NumericBinop(d.op, xv, yv)
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			regs[ins.a] = v
+		case bCmp:
+			d := &bp.ops[ins.d]
+			xv, yv := regs[ins.b], regs[ins.c]
+			if xv.Kind == interp.KInt && yv.Kind == interp.KInt {
+				switch d.fast {
+				case 1:
+					regs[ins.a] = interp.BoolVal(xv.I == yv.I)
+					continue
+				case 2:
+					regs[ins.a] = interp.BoolVal(xv.I != yv.I)
+					continue
+				case 3:
+					regs[ins.a] = interp.BoolVal(xv.I < yv.I)
+					continue
+				case 4:
+					regs[ins.a] = interp.BoolVal(xv.I <= yv.I)
+					continue
+				case 5:
+					regs[ins.a] = interp.BoolVal(xv.I > yv.I)
+					continue
+				case 6:
+					regs[ins.a] = interp.BoolVal(xv.I >= yv.I)
+					continue
+				}
+			}
+			v, err := interp.Compare(d.op, xv, yv)
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			regs[ins.a] = v
+		case bLoadA:
+			d := &bp.accs[ins.b]
+			a := fr.arr[d.aslot]
+			var off int64
+			var err error
+			switch len(d.subs) {
+			case 1:
+				off, err = a.Idx1(regs[d.subs[0]].AsInt())
+			case 2:
+				off, err = a.Idx2(regs[d.subs[0]].AsInt(), regs[d.subs[1]].AsInt())
+			case 3:
+				off, err = a.Idx3(regs[d.subs[0]].AsInt(), regs[d.subs[1]].AsInt(), regs[d.subs[2]].AsInt())
+			default:
+				ix := make([]int64, len(d.subs))
+				for i, sr := range d.subs {
+					ix[i] = regs[sr].AsInt()
+				}
+				v, gerr := a.Get(ix)
+				if gerr != nil {
+					return rte(d.pos, "%v", gerr)
+				}
+				regs[ins.a] = v
+				continue
+			}
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			regs[ins.a] = a.RawGet(off)
+		case bStoreA:
+			d := &bp.accs[ins.a]
+			a := fr.arr[d.aslot]
+			var off int64
+			var err error
+			switch len(d.subs) {
+			case 1:
+				off, err = a.Idx1(regs[d.subs[0]].AsInt())
+			case 2:
+				off, err = a.Idx2(regs[d.subs[0]].AsInt(), regs[d.subs[1]].AsInt())
+			case 3:
+				off, err = a.Idx3(regs[d.subs[0]].AsInt(), regs[d.subs[1]].AsInt(), regs[d.subs[2]].AsInt())
+			default:
+				ix := make([]int64, len(d.subs))
+				for i, sr := range d.subs {
+					ix[i] = regs[sr].AsInt()
+				}
+				if serr := a.Set(ix, regs[ins.b]); serr != nil {
+					return rte(d.pos, "%v", serr)
+				}
+				continue
+			}
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			a.RawSet(off, regs[ins.b])
+		case bLoadU:
+			g := &bp.geos[ins.b]
+			a := fr.arr[g.aslot]
+			off := int64(0)
+			for i, sr := range g.subs {
+				off += (regs[sr].AsInt() - g.lo[i]) * g.stride[i]
+			}
+			regs[ins.a] = a.RawGet(off)
+		case bStoreU:
+			g := &bp.geos[ins.a]
+			a := fr.arr[g.aslot]
+			off := int64(0)
+			for i, sr := range g.subs {
+				off += (regs[sr].AsInt() - g.lo[i]) * g.stride[i]
+			}
+			a.RawSet(off, regs[ins.b])
+		case bIntr:
+			d := &bp.intrs[ins.b]
+			vals := make([]interp.Value, len(d.args))
+			for i, ar := range d.args {
+				vals[i] = regs[ar]
+			}
+			v, err := interp.EvalIntrinsic(d.name, vals)
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			regs[ins.a] = v
+		case bMod2:
+			d := &bp.intrs[ins.b]
+			v0, v1 := regs[d.args[0]], regs[d.args[1]]
+			if v0.Kind == interp.KInt && v1.Kind == interp.KInt {
+				if v1.I == 0 {
+					return d.err
+				}
+				regs[ins.a] = interp.IntVal(v0.I % v1.I)
+				continue
+			}
+			v, err := interp.EvalIntrinsic("mod", []interp.Value{v0, v1})
+			if err != nil {
+				return rte(d.pos, "%v", err)
+			}
+			regs[ins.a] = v
+		case bWtime:
+			regs[ins.a] = interp.RealVal(x.rank.Now().Seconds())
+		case bForPrep:
+			fd := &bp.fors[ins.a]
+			lo := regs[fd.loReg].AsInt()
+			hi := regs[fd.hiReg].AsInt()
+			step := int64(1)
+			if fd.stepReg >= 0 {
+				step = regs[fd.stepReg].AsInt()
+				if step == 0 {
+					return fd.errStep
+				}
+			}
+			trips := (hi - lo + step) / step
+			if trips < 0 {
+				trips = 0
+			}
+			regs[fd.vReg] = interp.IntVal(lo)
+			regs[fd.tripsReg] = interp.IntVal(trips)
+			regs[fd.stepValReg] = interp.IntVal(step)
+		case bForIter:
+			fd := &bp.fors[ins.a]
+			*fr.scal[fd.sslot] = interp.IntVal(regs[fd.vReg].I)
+			if regs[fd.tripsReg].I == 0 {
+				pc = int(fd.endPC)
+				continue
+			}
+			regs[fd.tripsReg].I--
+		case bForNext:
+			fd := &bp.fors[ins.a]
+			regs[fd.vReg].I += regs[fd.stepValReg].I
+			pc = int(fd.headPC)
+		}
+	}
+	return nil
+}

@@ -141,6 +141,7 @@ func compileUnit(prog *Program, u *ftn.Unit) *unit {
 			cu.arrNames[s.aslot] = s.name
 		}
 	}
+	cu.cm = c
 	return cu
 }
 

@@ -7,14 +7,20 @@ import (
 	"repro/internal/netsim"
 )
 
-// Engine selects how program variants are executed: the compiled closure
-// engine (drawing from a variant store) or the tree-walking interpreter,
-// which is retained as the differential oracle.
+// Engine selects how program variants are executed: the bytecode tier
+// (register machine lowered from the closure program), the compiled
+// closure engine (drawing from a variant store), or the tree-walking
+// interpreter, which is retained as the differential oracle.
 type Engine string
 
 const (
+	// EngineBytecode lowers each compiled variant's main unit into a
+	// register-based flat instruction stream (constant folding, batched
+	// cost charges, bounds-check elimination) and dispatches through a
+	// flat switch. The fastest tier, and the default.
+	EngineBytecode Engine = "bytecode"
 	// EngineCompile compiles each variant once (shared through the
-	// variant store) and replays the closure program. The default.
+	// variant store) and replays the closure program. The mid-tier.
 	EngineCompile Engine = "compile"
 	// EngineWalk parses and tree-walks the AST for every run — the
 	// historical path, kept as the bit-identical oracle.
@@ -22,18 +28,26 @@ const (
 )
 
 // Default is the engine used when none is named.
-const Default = EngineCompile
+const Default = EngineBytecode
 
-// Resolve validates an engine name ("" selects the default).
-func Resolve(name string) (Engine, error) {
+// ParseEngine validates an engine name ("" selects the default). It is the
+// one engine-name parser every command-line surface shares.
+func ParseEngine(name string) (Engine, error) {
 	switch Engine(name) {
 	case "":
 		return Default, nil
-	case EngineCompile, EngineWalk:
+	case EngineBytecode, EngineCompile, EngineWalk:
 		return Engine(name), nil
 	}
-	return "", fmt.Errorf("exec: unknown engine %q (want %q or %q)", name, EngineCompile, EngineWalk)
+	return "", fmt.Errorf("exec: unknown engine %q (want %q, %q, or %q)",
+		name, EngineBytecode, EngineCompile, EngineWalk)
 }
+
+// Resolve validates an engine name ("" selects the default).
+//
+// Deprecated: use ParseEngine; Resolve is retained for callers predating
+// the bytecode tier.
+func Resolve(name string) (Engine, error) { return ParseEngine(name) }
 
 // Runner binds an engine to the variant store its compile path draws
 // from — the injectable execution handle a session threads through the
@@ -64,6 +78,9 @@ func (r Runner) Run(src string, np int, costs interp.CostModel, prof netsim.Prof
 	p, err := store.Get(src)
 	if err != nil {
 		return nil, err
+	}
+	if r.Engine == EngineBytecode {
+		return p.RunBytecode(np, prof, costs)
 	}
 	return p.Run(np, prof, costs)
 }

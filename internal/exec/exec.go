@@ -39,6 +39,11 @@ import (
 type Program struct {
 	main  *unit
 	units map[string]*unit // subroutines by name (first definition wins)
+
+	// bc is the lazily-lowered bytecode form of the main unit (the third
+	// execution tier); bcOnce guards the one lowering per Program.
+	bcOnce sync.Once
+	bc     *bprog
 }
 
 // unit is one compiled program unit.
@@ -57,6 +62,10 @@ type unit struct {
 
 	setup []stmtFn // frame initialization: consts, declarations, views
 	body  []stmtFn
+
+	// cm retains the unit's compile-time symbol state for the bytecode
+	// lowering (slot assignments, AST, pre-resolved MPI bindings).
+	cm *comp
 }
 
 // frame is one procedure activation: slot-indexed storage. Scalar slots
@@ -158,6 +167,13 @@ func CompileSource(src string) (*Program, error) {
 // charging computation against costs. The result is bit-identical to
 // interp's tree-walk of the same source under the same machine.
 func (p *Program) Run(np int, prof netsim.Profile, costs interp.CostModel) (*interp.Result, error) {
+	return p.runEngine(np, prof, costs, p.runMain)
+}
+
+// runEngine is the shared rank-fanout harness: it runs `run` on every
+// simulated rank and assembles the Result exactly as Run always has. The
+// closure tier passes runMain, the bytecode tier passes runMainBC.
+func (p *Program) runEngine(np int, prof netsim.Profile, costs interp.CostModel, run func(*rctx) error) (*interp.Result, error) {
 	res := &interp.Result{
 		Output: make([][]string, np),
 		Arrays: make([]map[string]interface{}, np),
@@ -166,7 +182,7 @@ func (p *Program) Run(np int, prof netsim.Profile, costs interp.CostModel) (*int
 	var mu sync.Mutex
 	stats, err := mpi.Run(np, prof, func(r *mpi.Rank) {
 		x := &rctx{prog: p, rank: r, costs: costs}
-		runErr := p.runMain(x)
+		runErr := run(x)
 		mu.Lock()
 		res.Output[r.Me()] = x.out
 		res.Errors[r.Me()] = runErr

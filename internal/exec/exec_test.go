@@ -16,51 +16,57 @@ import (
 	"repro/internal/workload"
 )
 
+// fastEngines are the tiers proven against the walk oracle.
+var fastEngines = []exec.Engine{exec.EngineCompile, exec.EngineBytecode}
+
 // requireBitIdentical asserts two results agree on everything the
 // simulation observes: printed output, every final array (both ways),
 // virtual completion time, per-rank compute/blocked split, and the message
 // and byte counters.
-func requireBitIdentical(t *testing.T, label string, walk, comp *interp.Result) {
+func requireBitIdentical(t *testing.T, label string, walk, fast *interp.Result) {
 	t.Helper()
-	if same, why := interp.SameOutput(walk, comp); !same {
-		t.Fatalf("%s: walk vs compile output/arrays: %s", label, why)
+	if same, why := interp.SameOutput(walk, fast); !same {
+		t.Fatalf("%s: oracle vs fast output/arrays: %s", label, why)
 	}
-	if same, why := interp.SameOutput(comp, walk); !same {
-		t.Fatalf("%s: compile vs walk output/arrays: %s", label, why)
+	if same, why := interp.SameOutput(fast, walk); !same {
+		t.Fatalf("%s: fast vs oracle output/arrays: %s", label, why)
 	}
 	for r := range walk.Arrays {
-		if len(walk.Arrays[r]) != len(comp.Arrays[r]) {
-			t.Fatalf("%s: rank %d holds %d arrays under walk, %d under compile",
-				label, r, len(walk.Arrays[r]), len(comp.Arrays[r]))
+		if len(walk.Arrays[r]) != len(fast.Arrays[r]) {
+			t.Fatalf("%s: rank %d holds %d arrays under walk, %d under the fast tier",
+				label, r, len(walk.Arrays[r]), len(fast.Arrays[r]))
 		}
 	}
-	if walk.Elapsed() != comp.Elapsed() {
-		t.Fatalf("%s: elapsed %v (walk) vs %v (compile)", label, walk.Elapsed(), comp.Elapsed())
+	if walk.Elapsed() != fast.Elapsed() {
+		t.Fatalf("%s: elapsed %v (walk) vs %v (fast)", label, walk.Elapsed(), fast.Elapsed())
 	}
-	if walk.Stats.Messages != comp.Stats.Messages || walk.Stats.Bytes != comp.Stats.Bytes {
-		t.Fatalf("%s: traffic %d msgs/%d B (walk) vs %d msgs/%d B (compile)", label,
-			walk.Stats.Messages, walk.Stats.Bytes, comp.Stats.Messages, comp.Stats.Bytes)
+	if walk.Stats.Messages != fast.Stats.Messages || walk.Stats.Bytes != fast.Stats.Bytes {
+		t.Fatalf("%s: traffic %d msgs/%d B (walk) vs %d msgs/%d B (fast)", label,
+			walk.Stats.Messages, walk.Stats.Bytes, fast.Stats.Messages, fast.Stats.Bytes)
 	}
 	for r := range walk.Stats.PerRank {
-		w, c := walk.Stats.PerRank[r], comp.Stats.PerRank[r]
+		w, c := walk.Stats.PerRank[r], fast.Stats.PerRank[r]
 		if w != c {
-			t.Fatalf("%s: rank %d stats %+v (walk) vs %+v (compile)", label, r, w, c)
+			t.Fatalf("%s: rank %d stats %+v (walk) vs %+v (fast)", label, r, w, c)
 		}
 	}
 }
 
-// runBoth executes src under both engines on one machine.
-func runBoth(t *testing.T, label, src string, np int, m plan.Machine) (*interp.Result, *interp.Result) {
+// runAll executes src under the walk oracle and every fast tier on one
+// machine, asserting each fast tier is bit-identical to the oracle.
+func runAll(t *testing.T, label, src string, np int, m plan.Machine) {
 	t.Helper()
 	walk, err := exec.EngineWalk.Run(src, np, m.Costs, m.Profile)
 	if err != nil {
 		t.Fatalf("%s: walk: %v", label, err)
 	}
-	comp, err := exec.EngineCompile.Run(src, np, m.Costs, m.Profile)
-	if err != nil {
-		t.Fatalf("%s: compile: %v", label, err)
+	for _, eng := range fastEngines {
+		fast, err := eng.Run(src, np, m.Costs, m.Profile)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, eng, err)
+		}
+		requireBitIdentical(t, fmt.Sprintf("%s/%s", label, eng), walk, fast)
 	}
-	return walk, comp
 }
 
 var npRe = regexp.MustCompile(`np\s*=\s*(\d+)`)
@@ -89,8 +95,7 @@ func TestGoldenFixturesBitIdentical(t *testing.T) {
 		np, _ := strconv.Atoi(m[1])
 		for _, machine := range plan.Builtin() {
 			label := fmt.Sprintf("%s/%s", filepath.Base(path), machine.Name)
-			walk, comp := runBoth(t, label, src, np, machine)
-			requireBitIdentical(t, label, walk, comp)
+			runAll(t, label, src, np, machine)
 			ran++
 		}
 	}
@@ -134,8 +139,7 @@ func TestCorpusBitIdentical(t *testing.T) {
 				}
 				for vi, src := range []string{sc.Source, transformed} {
 					label := fmt.Sprintf("%s/%s/variant%d", sc.Name, m.Name, vi)
-					walk, comp := runBoth(t, label, src, sc.NP, m)
-					requireBitIdentical(t, label, walk, comp)
+					runAll(t, label, src, sc.NP, m)
 				}
 			}
 		})
@@ -193,8 +197,7 @@ subroutine bump(x)
 end subroutine bump
 `
 	for _, m := range plan.Builtin() {
-		walk, comp := runBoth(t, "torture/"+m.Name, src, 3, m)
-		requireBitIdentical(t, "torture/"+m.Name, walk, comp)
+		runAll(t, "torture/"+m.Name, src, 3, m)
 	}
 }
 
@@ -216,8 +219,7 @@ program dupdecl
 end program dupdecl
 `
 	m := plan.MPICHGM2005()
-	walk, comp := runBoth(t, "dupdecl", src, 2, m)
-	requireBitIdentical(t, "dupdecl", walk, comp)
+	runAll(t, "dupdecl", src, 2, m)
 }
 
 // TestForwardConstantReference: a parameter initializer referencing a
@@ -236,6 +238,5 @@ program fwdconst
 end program fwdconst
 `
 	m := plan.MPICHGM2005()
-	walk, comp := runBoth(t, "fwdconst", src, 2, m)
-	requireBitIdentical(t, "fwdconst", walk, comp)
+	runAll(t, "fwdconst", src, 2, m)
 }

@@ -30,16 +30,16 @@ import (
 	"repro/internal/workload"
 )
 
-// Schema identifies the JSON artifact layout. v6 makes "don't transform"
-// a first-class per-site decision: tuned rows carry `skip` inside their
-// per-site decisions (a skipped site is left byte-identical to the
-// original), and the summary gains skipped_sites (total skip decisions
-// across tuned rows) and identity_plans (tuned rows whose plan skips every
-// site — the tuner concluded the best plan is the identity). With skip in
-// plan space, every tuned speedup is ≥ 1.0 by construction. v5 added the
-// execution-engine fields (engine, variants_compiled, cache_hits,
+// Schema identifies the JSON artifact layout. v7 adds the bytecode
+// execution tier and tiered tuning: the report records the tune-check
+// engine (`tune_check_engine`, the oracle that differentially re-checked
+// every adopted plan), tuned rows carry `tiered_checks` (oracle runs spent
+// on that row), and the summary sums them. v6 made "don't transform" a
+// first-class per-site decision (skip decisions, skipped_sites /
+// identity_plans counters; tuned speedup ≥ 1.0 by construction); v5 added
+// the execution-engine fields (engine, variants_compiled, cache_hits,
 // sweep_wall_ns) on top of the v4 per-site tuning fields.
-const Schema = "repro/bench-harness/v6"
+const Schema = "repro/bench-harness/v7"
 
 // Config parameterizes one sweep.
 type Config struct {
@@ -73,6 +73,12 @@ type Config struct {
 	// TuneKOnly restricts the search to the tile size (the historical
 	// K-only tuner), for ablation sweeps.
 	TuneKOnly bool
+	// TuneCheckEngine, when non-empty, makes tuning tiered: candidates are
+	// measured on the sweep engine, and only the original program and each
+	// adopted plan are re-run on this engine (the walk oracle in CI),
+	// requiring identical makespans and observables. Ignored when it names
+	// the sweep engine itself.
+	TuneCheckEngine exec.Engine
 	// Verify enables the static verification tier: every (program, plan)
 	// variant the sweep touches — the fixed variant, every measured tuner
 	// candidate, and each chosen plan — is re-proven by the translation
@@ -84,10 +90,12 @@ type Config struct {
 	// they do not mark the scenario errored (the dynamic oracle verdict
 	// stays independent).
 	Verify bool
-	// Engine selects the execution engine: exec.EngineCompile (default)
-	// compiles each (program, plan) variant once into a closure program,
-	// shared through the sweep session's variant store; exec.EngineWalk
-	// re-parses and tree-walks per run — the differential oracle.
+	// Engine selects the execution engine: exec.EngineBytecode (default)
+	// lowers each (program, plan) variant once into a register bytecode
+	// program, exec.EngineCompile runs the closure mid-tier, and
+	// exec.EngineWalk re-parses and tree-walks per run — the differential
+	// oracle. Fast-tier artifacts are shared through the sweep session's
+	// variant store.
 	Engine exec.Engine
 	// Session, when non-nil, supplies the variant store, plan memo, and
 	// engine the sweep runs through — two sweeps sharing a session share
@@ -183,6 +191,9 @@ type TunedRun struct {
 	// Search cost: measured pre-push runs and the simulated time they took.
 	Evaluations int   `json:"evaluations"`
 	SearchSimNs int64 `json:"search_sim_ns"`
+	// TieredChecks counts the check-engine runs that re-proved this row's
+	// original and adopted plan (tiered tuning only; 0 when off).
+	TieredChecks int `json:"tiered_checks,omitempty"`
 }
 
 // TunedSite is one site's slice of a tuned plan: the chosen decision plus
@@ -273,6 +284,10 @@ type Summary struct {
 	VerifySkipped    int64 `json:"verify_skipped,omitempty"`
 	VerifyFailures   int64 `json:"verify_failures,omitempty"`
 	VerifyWallNs     int64 `json:"verify_wall_ns,omitempty"`
+	// TieredChecks sums the tuned rows' check-engine runs (tiered tuning
+	// only). It is the whole oracle bill of a tiered sweep: two runs per
+	// adopted plan instead of one per measured candidate. Merge sums it.
+	TieredChecks int64 `json:"tiered_checks,omitempty"`
 }
 
 // ProfileSummary is one machine's aggregate row.
@@ -302,10 +317,16 @@ type ProfileSummary struct {
 // Report is the sweep artifact (marshalled to BENCH_harness.json).
 type Report struct {
 	Schema string `json:"schema"`
-	// Engine names the execution engine the sweep ran on ("compile" or
-	// "walk"). Merge requires it to agree across shards: mixing engines
-	// would make the summed wall/cache counters meaningless.
+	// Engine names the execution engine the sweep ran on ("bytecode",
+	// "compile", or "walk"). Merge requires it to agree across shards:
+	// mixing engines would make the summed wall/cache counters meaningless.
 	Engine string `json:"engine,omitempty"`
+	// TuneCheckEngine names the tiered-tuning check engine, when one re-
+	// proved the adopted plans. Merge requires it to agree across shards
+	// for the same reason as Engine: a summed tiered_checks counter over
+	// shards whose plans were checked against different oracles (or not at
+	// all) would misstate what the artifact proves.
+	TuneCheckEngine string `json:"tune_check_engine,omitempty"`
 	// Machines names the machine-model set the sweep ran under, in sweep
 	// order. Merge requires it to agree across shards — an outcome-level
 	// scan alone can miss a mismatch when a shard's scenarios all errored.
@@ -361,6 +382,20 @@ func Run(cfg Config) (*Report, error) {
 			cfg.Engine, sess.Engine())
 	}
 	engine := sess.Engine()
+	// Tiered tuning: resolve the check engine up front so a typo fails the
+	// sweep before any work; a check engine naming the sweep engine itself
+	// is a no-op (nothing to cross-check).
+	checkEngine := exec.Engine("")
+	if cfg.Tune && cfg.TuneCheckEngine != "" {
+		ce, err := exec.ParseEngine(string(cfg.TuneCheckEngine))
+		if err != nil {
+			return nil, fmt.Errorf("harness: tune check engine: %v", err)
+		}
+		if ce != engine {
+			checkEngine = ce
+		}
+	}
+	cfg.TuneCheckEngine = checkEngine
 	// Plans are memoized across queries only through an explicit shared
 	// session: a caller wiring one in accepts that fingerprint-equal
 	// (scenario, machine) pairs replay each other's plans. Default sweeps
@@ -408,7 +443,8 @@ func Run(cfg Config) (*Report, error) {
 		outcomes[i] = st.assemble(cfg.Tune)
 	}
 
-	rep := &Report{Schema: Schema, Engine: string(engine), Verify: cfg.Verify, Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Engine: string(engine),
+		TuneCheckEngine: string(checkEngine), Verify: cfg.Verify, Scenarios: outcomes}
 	for _, m := range machines {
 		rep.Machines = append(rep.Machines, m.Name)
 	}
@@ -614,7 +650,8 @@ func (st *scenarioState) tuneMachine(mi int, cfg Config) {
 	}
 	m := st.machines[mi]
 	opts := tune.Options{MaxMeasured: cfg.TuneMaxMeasured, Arrays: st.arrays,
-		KOnly: cfg.TuneKOnly, Engine: st.sess.Engine(), Store: st.sess.Store()}
+		KOnly: cfg.TuneKOnly, Engine: st.sess.Engine(), Store: st.sess.Store(),
+		CheckEngine: cfg.TuneCheckEngine}
 	if st.memoPlans {
 		opts.Memo = st.sess.Memo()
 	}
@@ -635,6 +672,7 @@ func (st *scenarioState) tuneMachine(mi int, cfg Config) {
 		FixedSpeedup: c.FixedSpeedup,
 		Divergent:    c.Divergent, UniformSpeedup: c.UniformSpeedup,
 		Evaluations: c.Evaluations, SearchSimNs: c.SearchSimNs,
+		TieredChecks: c.TieredChecks,
 	}
 	for _, s := range c.Sites {
 		tr.Sites = append(tr.Sites, TunedSite{
@@ -713,6 +751,7 @@ func Merge(reports []*Report) (*Report, error) {
 	var outcomes []Outcome
 	machineSet := ""
 	engine := ""
+	checkEngine := ""
 	verifyMode := false
 	var compiled, hits, diskHits, wall int64
 	var vVerified, vSkipped, vFails, vWall int64
@@ -726,6 +765,7 @@ func Merge(reports []*Report) (*Report, error) {
 		if i == 0 {
 			machineSet = ms
 			engine = r.Engine
+			checkEngine = r.TuneCheckEngine
 			verifyMode = r.Verify
 		} else {
 			if ms != machineSet {
@@ -733,6 +773,9 @@ func Merge(reports []*Report) (*Report, error) {
 			}
 			if r.Engine != engine {
 				return nil, fmt.Errorf("harness: merge input %d was swept under engine %q, want %q — shards must use one -engine", i, r.Engine, engine)
+			}
+			if r.TuneCheckEngine != checkEngine {
+				return nil, fmt.Errorf("harness: merge input %d was tune-checked against engine %q, want %q — shards must use one -tune-check-engine", i, r.TuneCheckEngine, checkEngine)
 			}
 			if r.Verify != verifyMode {
 				return nil, fmt.Errorf("harness: merge input %d mixes -verify and verify-off shards — summed verify counters would silently undercount the corpus; re-sweep every shard with one -verify setting", i)
@@ -785,7 +828,8 @@ func Merge(reports []*Report) (*Report, error) {
 			return nil, fmt.Errorf("harness: merge mixes tuned and untuned shards (%s)", o.Name)
 		}
 	}
-	rep := &Report{Schema: Schema, Engine: engine, Machines: reports[0].Machines, Verify: verifyMode, Scenarios: outcomes}
+	rep := &Report{Schema: Schema, Engine: engine, TuneCheckEngine: checkEngine,
+		Machines: reports[0].Machines, Verify: verifyMode, Scenarios: outcomes}
 	rep.Summary = summarize(outcomes)
 	rep.Summary.VariantsCompiled = compiled
 	rep.Summary.CacheHits = hits
@@ -891,6 +935,7 @@ func summarize(outcomes []Outcome) Summary {
 			if sites > 0 && skips == sites {
 				s.IdentityPlans++
 			}
+			s.TieredChecks += int64(tr.TieredChecks)
 		}
 		if gained {
 			s.OffloadGained++
@@ -1007,6 +1052,10 @@ func (r *Report) Table() string {
 	if r.Summary.SkippedSites > 0 {
 		fmt.Fprintf(&sb, "%d site decision(s) skip the transformation (%d identity plan(s))\n",
 			r.Summary.SkippedSites, r.Summary.IdentityPlans)
+	}
+	if r.TuneCheckEngine != "" {
+		fmt.Fprintf(&sb, "tiered tuning: %d adopted-plan check run(s) on engine %s\n",
+			r.Summary.TieredChecks, r.TuneCheckEngine)
 	}
 	for _, ps := range r.Summary.PerProfile {
 		fmt.Fprintf(&sb, "geomean speedup %-14s %.3f", ps.Profile, ps.Geomean)

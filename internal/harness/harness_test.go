@@ -110,15 +110,21 @@ func TestEnginesAgreeFixedAndTuned(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		comp, err := Run(Config{Scenarios: corpus, Tune: tuned, Engine: exec.EngineCompile})
-		if err != nil {
-			t.Fatal(err)
+		if walk.Engine != string(exec.EngineWalk) {
+			t.Fatalf("engine recorded as %q", walk.Engine)
 		}
-		if walk.Engine != string(exec.EngineWalk) || comp.Engine != string(exec.EngineCompile) {
-			t.Fatalf("engines recorded as %q and %q", walk.Engine, comp.Engine)
-		}
-		if a, b := norm(walk), norm(comp); a != b {
-			t.Errorf("tune=%v: walk and compile reports differ:\n%s\nvs\n%s", tuned, a, b)
+		want := norm(walk)
+		for _, eng := range []exec.Engine{exec.EngineCompile, exec.EngineBytecode} {
+			fast, err := Run(Config{Scenarios: corpus, Tune: tuned, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Engine != string(eng) {
+				t.Fatalf("engine recorded as %q, want %q", fast.Engine, eng)
+			}
+			if got := norm(fast); got != want {
+				t.Errorf("tune=%v: walk and %s reports differ:\n%s\nvs\n%s", tuned, eng, want, got)
+			}
 		}
 	}
 }
@@ -250,16 +256,94 @@ func TestWarmDiskStoreAcrossSessions(t *testing.T) {
 // must not merge — the summed wall/cache counters would be meaningless.
 func TestMergeRejectsEngineMismatch(t *testing.T) {
 	corpus := smallCorpus(t, 2)
-	a, err := Run(Config{Scenarios: corpus[:1], Engine: exec.EngineCompile})
+	shard := func(sc []workload.Scenario, eng exec.Engine) *Report {
+		t.Helper()
+		rep, err := Run(Config{Scenarios: sc, Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	pairs := [][2]exec.Engine{
+		{exec.EngineCompile, exec.EngineWalk},
+		{exec.EngineBytecode, exec.EngineWalk},
+		{exec.EngineBytecode, exec.EngineCompile},
+	}
+	for _, pr := range pairs {
+		a := shard(corpus[:1], pr[0])
+		b := shard(corpus[1:], pr[1])
+		if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "engine") {
+			t.Fatalf("merge of %s/%s shards: %v, want engine mismatch error", pr[0], pr[1], err)
+		}
+	}
+}
+
+// TestMergeRejectsTuneCheckEngineMismatch: tuned shards cross-checked
+// against different oracles (or not at all) carry incomparable
+// tiered_checks counters and a meaningless merged tune_check_engine.
+func TestMergeRejectsTuneCheckEngineMismatch(t *testing.T) {
+	corpus := smallCorpus(t, 2)
+	a, err := Run(Config{Scenarios: corpus[:1], Tune: true, TuneCheckEngine: exec.EngineWalk})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Config{Scenarios: corpus[1:], Engine: exec.EngineWalk})
+	b, err := Run(Config{Scenarios: corpus[1:], Tune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "engine") {
-		t.Fatalf("merge of mixed-engine shards: %v, want engine mismatch error", err)
+	if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "tune-check") {
+		t.Fatalf("merge of mixed tune-check shards: %v, want tune-check mismatch error", err)
+	}
+}
+
+// TestTieredTuningSweep: a tuned sweep with -tune-check-engine walk must
+// re-check every adopted plan on the oracle, count those runs, and adopt
+// exactly the plans an unchecked sweep adopts — the check is a proof
+// obligation, never a behavioral fork.
+func TestTieredTuningSweep(t *testing.T) {
+	corpus := smallCorpus(t, 4)
+	checked, err := Run(Config{Scenarios: corpus, Tune: true, TuneCheckEngine: exec.EngineWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.TuneCheckEngine != string(exec.EngineWalk) {
+		t.Fatalf("report tune_check_engine = %q, want %q", checked.TuneCheckEngine, exec.EngineWalk)
+	}
+	if checked.Summary.TieredChecks == 0 {
+		t.Fatal("tiered sweep recorded zero oracle check runs")
+	}
+	plain, err := Run(Config{Scenarios: corpus, Tune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(r *Report) string {
+		r.TuneCheckEngine = ""
+		r.Summary.SweepWallNs = 0
+		r.Summary.VariantsCompiled = 0
+		r.Summary.CacheHits = 0
+		r.Summary.TieredChecks = 0
+		for i := range r.Scenarios {
+			for j := range r.Scenarios[i].Tuned {
+				r.Scenarios[i].Tuned[j].TieredChecks = 0
+			}
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := norm(checked), norm(plain); a != b {
+		t.Errorf("tiered checking changed the sweep:\n%s\nvs\n%s", a, b)
+	}
+	// A no-op check engine (the sweep engine itself) runs no checks.
+	noop, err := Run(Config{Scenarios: corpus[:1], Tune: true, TuneCheckEngine: exec.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.TuneCheckEngine != "" || noop.Summary.TieredChecks != 0 {
+		t.Fatalf("self-check sweep recorded engine %q / %d checks, want none",
+			noop.TuneCheckEngine, noop.Summary.TieredChecks)
 	}
 }
 

@@ -49,7 +49,7 @@ type programKey struct {
 
 // New builds a session; the zero Options value gives the defaults.
 func New(opts Options) (*Session, error) {
-	engine, err := exec.Resolve(string(opts.Engine))
+	engine, err := exec.ParseEngine(string(opts.Engine))
 	if err != nil {
 		return nil, fmt.Errorf("session: %v", err)
 	}

@@ -93,9 +93,15 @@ type Options struct {
 	// skipping the non-K knob flips — kept for ablation comparisons.
 	KOnly bool
 	// Engine selects the execution engine for every measured run; ""
-	// means exec.Default (the compiled engine, whose variant store makes
+	// means exec.Default (the bytecode engine, whose variant store makes
 	// revisiting a candidate across machines nearly free).
 	Engine exec.Engine
+	// CheckEngine, when non-empty and different from Engine, re-runs just
+	// the original program and the adopted plan on this engine after the
+	// search and requires bit-identical makespans and observables — the
+	// tiered-tuning contract: candidates are measured on the fast tier,
+	// the winner stays oracle-backed. "" disables the re-check.
+	CheckEngine exec.Engine
 	// Store backs the compile engine's variant cache for measured runs;
 	// nil selects the process-default store.
 	Store exec.VariantStore
@@ -163,6 +169,10 @@ type Choice struct {
 	// MemoHit marks a choice served from the plan memo: no search ran for
 	// this query; the recorded measurements are the original search's.
 	MemoHit bool `json:"memo_hit,omitempty"`
+	// TieredChecks counts the check-engine runs this choice was verified
+	// with (0 when tiered checking was off or the choice came from the
+	// memo).
+	TieredChecks int `json:"tiered_checks,omitempty"`
 }
 
 // siteState is one transformable site's search facts.
@@ -183,9 +193,19 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 	if len(arrays) == 0 {
 		arrays = []string{"ar"}
 	}
-	engine, err := exec.Resolve(string(opts.Engine))
+	engine, err := exec.ParseEngine(string(opts.Engine))
 	if err != nil {
 		return nil, fmt.Errorf("tune: %v", err)
+	}
+	var check *exec.Runner
+	if opts.CheckEngine != "" {
+		checkEngine, err := exec.ParseEngine(string(opts.CheckEngine))
+		if err != nil {
+			return nil, fmt.Errorf("tune: check engine: %v", err)
+		}
+		if checkEngine != engine {
+			check = &exec.Runner{Engine: checkEngine, Store: opts.Store}
+		}
 	}
 
 	prog := in.Program
@@ -224,7 +244,7 @@ func Tune(in Input, opts Options) ([]Choice, error) {
 				continue
 			}
 		}
-		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly, runner)
+		ch, err := tuneMachine(prog, in, m, sites, uniformLadder, arrays, maxM, opts.KOnly, runner, check)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +318,8 @@ type search struct {
 // search, and the best-uniform baseline), then coordinate descent across
 // the sites.
 func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState,
-	uniformLadder []int64, arrays []string, maxM int, kOnly bool, runner exec.Runner) (Choice, error) {
+	uniformLadder []int64, arrays []string, maxM int, kOnly bool, runner exec.Runner,
+	check *exec.Runner) (Choice, error) {
 
 	orig, err := simulate(in.Source, in.NP, m, runner)
 	if err != nil {
@@ -431,6 +452,47 @@ func tuneMachine(prog *core.Program, in Input, m plan.Machine, sites []siteState
 		ch.SearchSimNs += c.PrepushNs
 		if c.Identical && c.Uniform && c.Speedup > ch.UniformSpeedup {
 			ch.UniformSpeedup = c.Speedup
+		}
+	}
+
+	// Tiered check: the candidates above were measured on the fast tier;
+	// re-run only the original and the adopted plan on the check engine
+	// (the walk oracle in CI) and require exact agreement — same makespans
+	// the search ranked on, same observables the never-lose gate compared.
+	if check != nil {
+		co, err := simulate(in.Source, in.NP, m, *check)
+		if err != nil {
+			return Choice{}, fmt.Errorf("tune: tiered check: original under %s on %q: %w", m.Name, check.Engine, err)
+		}
+		ch.TieredChecks++
+		if int64(co.Elapsed()) != s.origNs {
+			return Choice{}, fmt.Errorf("tune: tiered check: original makespan %d ns on %q vs %d ns on %q under %s",
+				int64(co.Elapsed()), check.Engine, s.origNs, runner.Engine, m.Name)
+		}
+		if same, why := interp.SameObservable(s.orig, co, arrays...); !same {
+			return Choice{}, fmt.Errorf("tune: tiered check: original observables diverge between %q and %q under %s: %s",
+				runner.Engine, check.Engine, m.Name, why)
+		}
+		// core.Apply is memoized by plan key: re-materializing the winner's
+		// source is free.
+		winnerSrc, _, err := core.Apply(prog, ch.Plan)
+		if err != nil {
+			return Choice{}, fmt.Errorf("tune: tiered check: re-apply winner under %s: %w", m.Name, err)
+		}
+		if winnerSrc != in.Source {
+			cw, err := simulate(winnerSrc, in.NP, m, *check)
+			if err != nil {
+				return Choice{}, fmt.Errorf("tune: tiered check: winner under %s on %q: %w", m.Name, check.Engine, err)
+			}
+			ch.TieredChecks++
+			if int64(cw.Elapsed()) != winner.PrepushNs {
+				return Choice{}, fmt.Errorf("tune: tiered check: winner makespan %d ns on %q vs %d ns on %q under %s",
+					int64(cw.Elapsed()), check.Engine, winner.PrepushNs, runner.Engine, m.Name)
+			}
+			if same, why := interp.SameObservable(co, cw, arrays...); !same {
+				return Choice{}, fmt.Errorf("tune: tiered check: winner corrupts observables on %q under %s: %s",
+					check.Engine, m.Name, why)
+			}
 		}
 	}
 	return ch, nil

@@ -392,3 +392,44 @@ func TestPerSiteDivergenceBeatsUniform(t *testing.T) {
 		t.Error("no machine's divergent plan strictly beat the best uniform plan on the first multi scenario")
 	}
 }
+
+// TestTieredChecking: with a check engine named, every adopted plan (and
+// the original baseline) is differentially re-run on that engine; the
+// choices themselves must be exactly what the unchecked search picks, and
+// each choice must record its oracle runs. The sweep engine itself as
+// check engine is a no-op: no check runner, no counted runs.
+func TestTieredChecking(t *testing.T) {
+	sc := workload.GenerateScenarios(workload.GenOptions{Limit: 3})[2]
+	in := Input{Source: sc.Source, NP: sc.NP, FixedK: sc.K, Machines: machines(sc)}
+	plain, err := Tune(in, Options{Engine: exec.EngineBytecode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := Tune(in, Options{Engine: exec.EngineBytecode, CheckEngine: exec.EngineWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checked) != len(plain) {
+		t.Fatalf("checked search produced %d choices, unchecked %d", len(checked), len(plain))
+	}
+	for i := range checked {
+		if checked[i].TieredChecks == 0 {
+			t.Errorf("machine %q: no oracle check runs recorded", checked[i].Machine)
+		}
+		c, p := checked[i], plain[i]
+		c.TieredChecks, p.TieredChecks = 0, 0
+		if !reflect.DeepEqual(c, p) {
+			t.Errorf("machine %q: tiered checking changed the choice:\n%+v\nvs\n%+v",
+				checked[i].Machine, c, p)
+		}
+	}
+	noop, err := Tune(in, Options{Engine: exec.EngineBytecode, CheckEngine: exec.EngineBytecode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range noop {
+		if c.TieredChecks != 0 {
+			t.Errorf("machine %q: self-check counted %d runs, want 0", c.Machine, c.TieredChecks)
+		}
+	}
+}
